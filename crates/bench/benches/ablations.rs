@@ -1,0 +1,79 @@
+//! Criterion bench: CPU-measurable ablations of the design choices
+//! DESIGN.md calls out — kernel fusion (Listing 1) vs. the two-pass
+//! update, the rounding matcher, and the sparsity level's effect on one
+//! optimization step. (GPU-model ablations are printed by the
+//! `ablation_gpu` binary; these are the host-measurable counterparts.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cualign::PaperInput;
+use cualign_bench::{prepare_instance, HarnessConfig};
+use cualign_bp::{BpConfig, BpEngine, DampingSchedule, MatcherKind};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Fusion: same update, one pass vs two.
+    let h = HarnessConfig { scale: 0.15, bp_iters: 1, seed: 1 };
+    let p = prepare_instance(&h, PaperInput::FlyY2h1, 0.025);
+    for fused in [true, false] {
+        let cfg = BpConfig { fused, ..Default::default() };
+        let name = if fused { "fused" } else { "unfused" };
+        group.bench_function(BenchmarkId::new("f_dc_update", name), |b| {
+            let mut e = BpEngine::new(&p.l, &p.s, &cfg);
+            b.iter(|| {
+                e.iterate();
+                black_box(e.dc()[0])
+            });
+        });
+    }
+
+    // Matcher choice inside the rounding step.
+    for matcher in [
+        MatcherKind::Serial,
+        MatcherKind::Parallel,
+        MatcherKind::Greedy,
+        MatcherKind::Suitor,
+    ] {
+        let cfg = BpConfig { matcher, max_iters: 1, ..Default::default() };
+        group.bench_function(BenchmarkId::new("rounding", format!("{matcher:?}")), |b| {
+            let mut e = BpEngine::new(&p.l, &p.s, &cfg);
+            e.iterate();
+            b.iter(|| black_box(e.round().1));
+        });
+    }
+
+    // Damping schedule: identical per-iteration cost, benched to confirm
+    // the schedule knob is free.
+    for damping in [DampingSchedule::PowerDecay, DampingSchedule::Constant] {
+        let cfg = BpConfig { damping, ..Default::default() };
+        group.bench_function(BenchmarkId::new("damping", format!("{damping:?}")), |b| {
+            let mut e = BpEngine::new(&p.l, &p.s, &cfg);
+            b.iter(|| {
+                e.iterate();
+                black_box(e.dc()[0])
+            });
+        });
+    }
+
+    // Density's effect on one full BP step (iterate + round).
+    for density in [0.01, 0.025, 0.05] {
+        let p = prepare_instance(&h, PaperInput::Synthetic4000, density);
+        let cfg = BpConfig::default();
+        group.bench_function(
+            BenchmarkId::new("step_vs_density", format!("{}%", density * 100.0)),
+            |b| {
+                let mut e = BpEngine::new(&p.l, &p.s, &cfg);
+                b.iter(|| {
+                    e.iterate();
+                    black_box(e.round().1)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: one belief-propagation message update (Algorithm 2
+//! lines 9–16) and one rounding, fused vs. unfused, at two instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cualign::PaperInput;
+use cualign_bench::{prepare_instance, HarnessConfig};
+use cualign_bp::{BpConfig, BpEngine};
+use std::hint::black_box;
+
+fn bench_bp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_iteration");
+    group.sample_size(10);
+    for (label, scale) in [("small", 0.05), ("medium", 0.15)] {
+        let h = HarnessConfig { scale, bp_iters: 1, seed: 1 };
+        let p = prepare_instance(&h, PaperInput::FlyY2h1, 0.025);
+        for fused in [true, false] {
+            let cfg = BpConfig { fused, ..Default::default() };
+            let name = format!("{label}/{}", if fused { "fused" } else { "unfused" });
+            group.bench_with_input(BenchmarkId::new("iterate", name), &cfg, |bench, cfg| {
+                let mut engine = BpEngine::new(&p.l, &p.s, cfg);
+                bench.iter(|| {
+                    engine.iterate();
+                    black_box(engine.yc()[0])
+                });
+            });
+        }
+        let cfg = BpConfig::default();
+        group.bench_function(BenchmarkId::new("round", label), |bench| {
+            let mut engine = BpEngine::new(&p.l, &p.s, &cfg);
+            engine.iterate();
+            bench.iter(|| black_box(engine.round().1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bp);
+criterion_main!(benches);

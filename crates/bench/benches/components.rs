@@ -1,0 +1,67 @@
+//! Criterion bench: the pipeline's component kernels — spectral
+//! embedding, subspace alignment, kNN sparsification, overlap-matrix
+//! construction, and the othermax operator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cualign::PaperInput;
+use cualign_bench::{prepare_instance, HarnessConfig};
+use cualign_bp::othermax::{othermax_cols, othermax_rows};
+use cualign_embed::{align_subspaces, spectral_embedding, SpectralConfig, SubspaceAlignConfig};
+use cualign_overlap::OverlapMatrix;
+use cualign_sparsify::build_alignment_graph;
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let h = HarnessConfig { scale: 0.1, bp_iters: 1, seed: 1 };
+    let p = prepare_instance(&h, PaperInput::FlyY2h1, 0.025);
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10);
+
+    let spec = SpectralConfig { dim: 64, ..Default::default() };
+    group.bench_function("spectral_embedding", |b| {
+        b.iter(|| black_box(spectral_embedding(&p.a, &spec).rows()))
+    });
+
+    let y1 = spec_embed(&p, 0);
+    let y2 = spec_embed(&p, 1);
+    group.bench_function("subspace_align", |b| {
+        let cfg = SubspaceAlignConfig { anchors: 256, ..Default::default() };
+        b.iter(|| black_box(align_subspaces(&y1, &y2, &p.a, &p.b, &cfg).round_costs.len()))
+    });
+
+    group.bench_function("knn_sparsify", |b| {
+        b.iter(|| black_box(build_alignment_graph(&y1, &y2, 10).num_edges()))
+    });
+
+    group.bench_function("overlap_build", |b| {
+        b.iter(|| black_box(OverlapMatrix::build(&p.a, &p.b, &p.l).nnz()))
+    });
+
+    let vals: Vec<f64> = (0..p.l.num_edges()).map(|i| (i % 97) as f64).collect();
+    let mut out = vec![0.0; vals.len()];
+    group.bench_function("othermax_rows", |b| {
+        b.iter(|| {
+            othermax_rows(&p.l, &vals, &mut out);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("othermax_cols", |b| {
+        b.iter(|| {
+            othermax_cols(&p.l, &vals, &mut out);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+fn spec_embed(p: &cualign_bench::PreparedInstance, side: u8) -> cualign_linalg::DenseMatrix {
+    let cfg = SpectralConfig { dim: 64, seed: 0x57ec + side as u64, ..Default::default() };
+    if side == 0 {
+        spectral_embedding(&p.a, &cfg)
+    } else {
+        spectral_embedding(&p.b, &cfg)
+    }
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: the half-approximate matchers (§4.3) on
+//! pipeline-produced alignment graphs, plus the Hungarian oracle on a
+//! small instance for perspective.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cualign::PaperInput;
+use cualign_bench::{prepare_instance, HarnessConfig};
+use cualign_matching::{
+    greedy_matching, hungarian_matching, locally_dominant_parallel, locally_dominant_serial,
+    suitor_matching,
+};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for (label, scale) in [("small", 0.05), ("medium", 0.15)] {
+        let h = HarnessConfig { scale, bp_iters: 1, seed: 1 };
+        let p = prepare_instance(&h, PaperInput::HumanY2h1, 0.025);
+        group.bench_function(BenchmarkId::new("locally_dominant_serial", label), |b| {
+            b.iter(|| black_box(locally_dominant_serial(&p.l).len()))
+        });
+        group.bench_function(BenchmarkId::new("locally_dominant_parallel", label), |b| {
+            b.iter(|| black_box(locally_dominant_parallel(&p.l).len()))
+        });
+        group.bench_function(BenchmarkId::new("greedy", label), |b| {
+            b.iter(|| black_box(greedy_matching(&p.l).len()))
+        });
+        group.bench_function(BenchmarkId::new("suitor", label), |b| {
+            b.iter(|| black_box(suitor_matching(&p.l).len()))
+        });
+    }
+    // The exact oracle is cubic; keep it tiny.
+    let h = HarnessConfig { scale: 0.02, bp_iters: 1, seed: 1 };
+    let p = prepare_instance(&h, PaperInput::Synthetic4000, 0.05);
+    group.bench_function("hungarian/tiny", |b| {
+        b.iter(|| black_box(hungarian_matching(&p.l).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

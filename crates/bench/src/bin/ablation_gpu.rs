@@ -1,0 +1,58 @@
+//! Ablation of the paper's §5 GPU design choices under the device model:
+//! binning, virtual warps, streams, and kernel fusion, each toggled
+//! independently on every input. Quantifies how much each optimization
+//! contributes to the modeled BP-iteration time — the design-choice index
+//! DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin ablation_gpu
+//! ```
+
+use cualign::PaperInput;
+use cualign_bench::{prepare_instance, HarnessConfig};
+use cualign_gpusim::bp_gpu::model_bp_iteration;
+use cualign_gpusim::{DeviceSpec, ExecConfig};
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    let density = 0.025;
+    let gpu = DeviceSpec::a100();
+    println!(
+        "GPU-model ablations: one BP iteration, µs on {} (scale = {}, density = {}%)\n",
+        gpu.name,
+        h.scale,
+        density * 100.0
+    );
+    let variants: [(&str, ExecConfig, bool); 6] = [
+        ("all-on", ExecConfig::optimized(), true),
+        ("no-fusion", ExecConfig::optimized(), false),
+        ("no-streams", ExecConfig { streams: false, ..ExecConfig::optimized() }, true),
+        ("no-vwarps", ExecConfig { virtual_warps: false, ..ExecConfig::optimized() }, true),
+        ("no-binning", ExecConfig { binning: false, virtual_warps: false, ..ExecConfig::optimized() }, true),
+        ("naive", ExecConfig::naive(), false),
+    ];
+
+    print!("{:<16}", "Network");
+    for (name, _, _) in &variants {
+        print!(" {:>11}", name);
+    }
+    println!();
+    println!("{}", "-".repeat(16 + 12 * variants.len()));
+    for input in PaperInput::all() {
+        let p = prepare_instance(&h, input, density);
+        print!("{:<16}", input.name());
+        let mut base = 0.0;
+        for (i, (_, exec, fused)) in variants.iter().enumerate() {
+            let (_, secs) = model_bp_iteration(&p.l, &p.s, *fused, &gpu, exec);
+            if i == 0 {
+                base = secs;
+                print!(" {:>11.2}", secs * 1e6);
+            } else {
+                print!(" {:>10.2}x", secs / base);
+            }
+        }
+        println!();
+    }
+    println!("\n(first column: absolute µs with everything on; the rest: slowdown factors");
+    println!("relative to it when one optimization is removed)");
+}

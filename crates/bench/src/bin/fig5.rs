@@ -1,0 +1,37 @@
+//! Regenerates **Figure 5**: compute time (log₂ seconds in the paper) of
+//! the optimization phase for each input at each density.
+//!
+//! The paper's finding: runtime grows steeply (super-linearly) with
+//! density — sparsification buys time as well as quality.
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin fig5
+//! ```
+
+use cualign::PaperInput;
+use cualign_bench::{sweep_densities, HarnessConfig, DENSITY_GRID};
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    println!(
+        "Figure 5: optimization time (s) vs density (scale = {}, bp_iters = {}, seed = {})\n",
+        h.scale, h.bp_iters, h.seed
+    );
+    print!("{:<16}", "Network");
+    for d in DENSITY_GRID {
+        print!(" {:>9}", format!("{}%", d * 100.0));
+    }
+    println!();
+    println!("{}", "-".repeat(16 + 10 * DENSITY_GRID.len()));
+    for input in PaperInput::all() {
+        print!("{:<16}", input.name());
+        for cell in sweep_densities(&h, input, &DENSITY_GRID) {
+            match cell.result {
+                Some(m) => print!(" {:>9.3}", m.optimize_s),
+                None => print!(" {:>9}", "DNF"),
+            }
+        }
+        println!();
+    }
+    println!("\nExpected shape (paper, log2 y-axis): time rises steeply with density.");
+}

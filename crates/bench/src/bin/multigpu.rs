@@ -1,0 +1,52 @@
+//! Extension experiment: the paper's future work — distributed multi-GPU
+//! belief propagation (§7) — under the strong-scaling model of
+//! `cualign_gpusim::multi_gpu`.
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin multigpu
+//! ```
+
+use cualign::PaperInput;
+use cualign_bench::{prepare_instance, HarnessConfig};
+use cualign_gpusim::multi_gpu::{strong_scaling_sweep, Interconnect};
+use cualign_gpusim::{DeviceSpec, ExecConfig};
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    let density = 0.025;
+    let counts = [1usize, 2, 4, 8];
+    println!(
+        "Multi-GPU strong scaling (extension): BP iteration on 1–8 modeled A100s over NVLink3\n(scale = {}, density = {}%, seed = {})\n",
+        h.scale,
+        density * 100.0,
+        h.seed
+    );
+    print!("{:<16}", "Network");
+    for g in counts {
+        print!(" {:>16}", format!("{g} GPU(s)"));
+    }
+    println!();
+    println!("{}", "-".repeat(16 + 17 * counts.len()));
+    for input in PaperInput::all() {
+        let p = prepare_instance(&h, input, density);
+        let sweep = strong_scaling_sweep(
+            &p.l,
+            &p.s,
+            &DeviceSpec::a100(),
+            &Interconnect::nvlink3(),
+            &ExecConfig::optimized(),
+            &counts,
+        );
+        print!("{:<16}", input.name());
+        for point in &sweep {
+            print!(
+                " {:>8.2}x ({:>3.0}%)",
+                point.speedup,
+                point.efficiency * 100.0
+            );
+        }
+        println!();
+    }
+    println!("\n(cells: speedup over 1 GPU and parallel efficiency; efficiency decays as");
+    println!("the all-gather of messages and Sᵖ halos stops shrinking with the shards)");
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table 1**: the evaluation inputs, with the stand-in
+//! generators' realized statistics next to the paper's listed counts.
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin table1
+//! ```
+
+use cualign::PaperInput;
+use cualign_bench::HarnessConfig;
+use cualign_graph::stats::{degree_stats, global_clustering};
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    println!("Table 1: input graphs (scale = {}, seed = {})\n", h.scale, h.seed);
+    println!(
+        "{:<16} {:>9} {:>9} | {:>9} {:>9} {:>8} {:>8} {:>10}",
+        "Network", "paper |V|", "paper |E|", "|V|", "|E|", "max deg", "mean", "clustering"
+    );
+    println!("{}", "-".repeat(88));
+    for input in PaperInput::all() {
+        let g = h.generate(input);
+        let ds = degree_stats(&g);
+        println!(
+            "{:<16} {:>9} {:>9} | {:>9} {:>9} {:>8} {:>8.2} {:>10.4}",
+            input.name(),
+            input.vertices(),
+            input.edges(),
+            g.num_vertices(),
+            g.num_edges(),
+            ds.max,
+            ds.mean,
+            global_clustering(&g)
+        );
+    }
+    println!("\n(paper columns are Table 1's listed sizes; the right half is the generated stand-in)");
+}

@@ -1,0 +1,562 @@
+//! The belief-propagation engine: message state, the damped iteration of
+//! Algorithm 2, and per-iteration rounding via approximate matching.
+
+use crate::othermax::{othermax_cols, othermax_rows};
+use crate::evaluate_matching;
+use cualign_graph::BipartiteGraph;
+use cualign_matching::{
+    greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching,
+    Matching,
+};
+use cualign_overlap::OverlapMatrix;
+use rayon::prelude::*;
+
+/// Which matcher rounds the messages each iteration (Algorithm 2,
+/// lines 17–20). All four compute the same unique matching under the
+/// shared preference order; they differ in execution strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatcherKind {
+    /// Sequential locally-dominant (reference).
+    Serial,
+    /// Two-queue parallel locally-dominant (the paper's §4.3).
+    Parallel,
+    /// Globally-sorted greedy.
+    Greedy,
+    /// Suitor (deferred acceptance) — Manne & Halappanavar.
+    Suitor,
+}
+
+/// How the damping factor evolves over iterations (Algorithm 2,
+/// lines 14–16 use `γᵏ`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DampingSchedule {
+    /// The paper's schedule: iteration `k` mixes with factor `γᵏ`, so the
+    /// update weight decays and the messages are forced to converge.
+    PowerDecay,
+    /// Classic constant damping: every iteration mixes with factor `γ`.
+    /// Bayati et al.'s alternative; keeps exploring but may oscillate.
+    Constant,
+}
+
+/// Belief propagation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BpConfig {
+    /// Weight of the linear (matching-weight) objective term.
+    pub alpha: f64,
+    /// Weight of the quadratic (overlap) objective term.
+    pub beta: f64,
+    /// Damping base γ ∈ (0, 1]; iteration `k` mixes with factor `γᵏ`.
+    pub gamma: f64,
+    /// Number of BP iterations (BP has no natural stopping criterion; the
+    /// paper fixes the count and keeps the best rounding seen).
+    pub max_iters: usize,
+    /// Fused `F`+`dᶜ` update (Listing 1) vs. two-pass. Identical results.
+    pub fused: bool,
+    /// Rounding matcher.
+    pub matcher: MatcherKind,
+    /// Damping schedule.
+    pub damping: DampingSchedule,
+}
+
+impl Default for BpConfig {
+    fn default() -> Self {
+        BpConfig {
+            alpha: 1.0,
+            beta: 2.0,
+            gamma: 0.99,
+            max_iters: 25,
+            fused: true,
+            matcher: MatcherKind::Parallel,
+            damping: DampingSchedule::PowerDecay,
+        }
+    }
+}
+
+/// One iteration's rounding record.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationRecord {
+    /// Iteration index (1-based).
+    pub iteration: usize,
+    /// Objective `α·weight + β·overlaps` of the better of the two
+    /// roundings this iteration.
+    pub score: f64,
+    /// Matched weight (under the original `w`) of that rounding.
+    pub weight: f64,
+    /// Conserved-edge count of that rounding.
+    pub overlaps: usize,
+}
+
+/// Result of a BP run.
+pub struct BpOutcome {
+    /// Best matching found over all iterations (`bestM`).
+    pub best_matching: Matching,
+    /// Its objective score.
+    pub best_score: f64,
+    /// Its matched weight under the original `w`.
+    pub best_weight: f64,
+    /// Its conserved-edge count.
+    pub best_overlaps: usize,
+    /// Iteration at which the best was found (0 = the pre-BP direct
+    /// rounding of the similarity weights).
+    pub best_iteration: usize,
+    /// Per-iteration records.
+    pub history: Vec<IterationRecord>,
+}
+
+/// Message state and iteration of Algorithm 2. The sparsity structure of
+/// all matrices is borrowed from the [`OverlapMatrix`]; messages live in
+/// flat arrays parallel to its CSR (`f`, `sc`, `sp`) or to `E_L`
+/// (`yc`, `zc`, `yp`, `zp`, `dc`).
+pub struct BpEngine<'a> {
+    /// Working copy of `L` whose weights get overwritten during rounding.
+    l: BipartiteGraph,
+    /// Pristine similarity weights (the `w` of Eq. 1).
+    w0: Vec<f64>,
+    s: &'a OverlapMatrix,
+    cfg: BpConfig,
+    iter: usize,
+    // Edge-indexed messages.
+    yc: Vec<f64>,
+    zc: Vec<f64>,
+    yp: Vec<f64>,
+    zp: Vec<f64>,
+    dc: Vec<f64>,
+    // Nonzero-indexed messages.
+    f: Vec<f64>,
+    sc: Vec<f64>,
+    sp: Vec<f64>,
+}
+
+impl<'a> BpEngine<'a> {
+    /// Creates an engine over `l` and its overlap matrix. All messages
+    /// start at zero (Algorithm 2, lines 1–5).
+    ///
+    /// # Panics
+    /// Panics if `s` was not built for `l` (row count mismatch), or on a
+    /// non-positive `gamma` / zero iteration count at run time.
+    pub fn new(l: &BipartiteGraph, s: &'a OverlapMatrix, cfg: &BpConfig) -> Self {
+        assert_eq!(s.num_rows(), l.num_edges(), "S rows must index E_L");
+        assert!(cfg.gamma > 0.0 && cfg.gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(
+            l.weights().iter().all(|w| w.is_finite()),
+            "similarity weights must be finite: NaN/∞ would poison every message"
+        );
+        let m = l.num_edges();
+        let nnz = s.nnz();
+        BpEngine {
+            l: l.clone(),
+            w0: l.weights().to_vec(),
+            s,
+            cfg: *cfg,
+            iter: 0,
+            yc: vec![0.0; m],
+            zc: vec![0.0; m],
+            yp: vec![0.0; m],
+            zp: vec![0.0; m],
+            dc: vec![0.0; m],
+            f: vec![0.0; nnz],
+            sc: vec![0.0; nnz],
+            sp: vec![0.0; nnz],
+        }
+    }
+
+    /// Current iteration count (completed message updates).
+    pub fn iteration(&self) -> usize {
+        self.iter
+    }
+
+    /// `yᶜ` messages (A-side exclusivity).
+    pub fn yc(&self) -> &[f64] {
+        &self.yc
+    }
+
+    /// `zᶜ` messages (B-side exclusivity).
+    pub fn zc(&self) -> &[f64] {
+        &self.zc
+    }
+
+    /// `dᶜ` totals.
+    pub fn dc(&self) -> &[f64] {
+        &self.dc
+    }
+
+    /// Clamped overlap messages `F` (nonzero-indexed).
+    pub fn f(&self) -> &[f64] {
+        &self.f
+    }
+
+    /// Damped overlap messages `Sᵖ` (nonzero-indexed).
+    pub fn sp(&self) -> &[f64] {
+        &self.sp
+    }
+
+    /// Original similarity weights `w`.
+    pub fn original_weights(&self) -> &[f64] {
+        &self.w0
+    }
+
+    /// One full message update (Algorithm 2, lines 9–16). Does not round.
+    pub fn iterate(&mut self) {
+        self.iter += 1;
+        let beta = self.cfg.beta;
+        let alpha = self.cfg.alpha;
+        let offsets = self.s.row_offsets().to_vec();
+        let perm = self.s.transpose_perm();
+
+        if self.cfg.fused {
+            // Fused kernel (Listing 1): one pass over each row computes the
+            // clamped F values and their row sum together.
+            let sp = &self.sp;
+            let w0 = &self.w0;
+            let f_out: Vec<f64> = vec![0.0; self.f.len()];
+            let mut f_out = f_out;
+            let dc_new: Vec<f64> = {
+                let f_slices = split_rows(&mut f_out, &offsets);
+                f_slices
+                    .into_par_iter()
+                    .enumerate()
+                    .map(|(row, (start, frow))| {
+                        let mut sum = 0.0;
+                        for (j, fv) in frow.iter_mut().enumerate() {
+                            let val = (beta + sp[perm[start + j] as usize]).clamp(0.0, beta);
+                            *fv = val;
+                            sum += val;
+                        }
+                        alpha * w0[row] + sum
+                    })
+                    .collect()
+            };
+            self.f = f_out;
+            self.dc = dc_new;
+        } else {
+            // Unfused: pass 1 writes F, pass 2 row-sums it.
+            let sp = &self.sp;
+            let f: Vec<f64> = (0..self.f.len())
+                .into_par_iter()
+                .map(|j| (beta + sp[perm[j] as usize]).clamp(0.0, beta))
+                .collect();
+            let dc: Vec<f64> = (0..self.dc.len())
+                .into_par_iter()
+                .map(|row| {
+                    let sum: f64 = f[offsets[row]..offsets[row + 1]].iter().sum();
+                    alpha * self.w0[row] + sum
+                })
+                .collect();
+            self.f = f;
+            self.dc = dc;
+        }
+
+        // y/z exclusivity messages.
+        let mut om = vec![0.0; self.yc.len()];
+        othermax_cols(&self.l, &self.zp, &mut om);
+        self.yc
+            .par_iter_mut()
+            .zip(&self.dc)
+            .zip(&om)
+            .for_each(|((y, d), o)| *y = d - o);
+        othermax_rows(&self.l, &self.yp, &mut om);
+        self.zc
+            .par_iter_mut()
+            .zip(&self.dc)
+            .zip(&om)
+            .for_each(|((z, d), o)| *z = d - o);
+
+        // Sᶜ = diag(yᶜ + zᶜ − dᶜ)·S − F.
+        {
+            let yc = &self.yc;
+            let zc = &self.zc;
+            let dc = &self.dc;
+            let f = &self.f;
+            let sc_slices = split_rows(&mut self.sc, &offsets);
+            sc_slices.into_par_iter().enumerate().for_each(|(row, (start, srow))| {
+                let v = yc[row] + zc[row] - dc[row];
+                for (j, s) in srow.iter_mut().enumerate() {
+                    *s = v - f[start + j];
+                }
+            });
+        }
+
+        // Damping (lines 14–16): the paper's γᵏ power decay, or constant γ.
+        let g = match self.cfg.damping {
+            DampingSchedule::PowerDecay => self.cfg.gamma.powi(self.iter as i32),
+            DampingSchedule::Constant => self.cfg.gamma,
+        };
+        let damp = |cur: &[f64], prev: &mut Vec<f64>| {
+            prev.par_iter_mut().zip(cur).for_each(|(p, c)| {
+                *p = g * c + (1.0 - g) * *p;
+            });
+        };
+        damp(&self.yc, &mut self.yp);
+        damp(&self.zc, &mut self.zp);
+        damp(&self.sc, &mut self.sp);
+    }
+
+    fn run_matcher(&self) -> Matching {
+        match self.cfg.matcher {
+            MatcherKind::Serial => locally_dominant_serial(&self.l),
+            MatcherKind::Parallel => locally_dominant_parallel(&self.l),
+            MatcherKind::Greedy => greedy_matching(&self.l),
+            MatcherKind::Suitor => suitor_matching(&self.l),
+        }
+    }
+
+    /// Rounds the current messages (Algorithm 2, lines 17–21): matches on
+    /// `yᶜ` weights and on `zᶜ` weights, evaluates both against the
+    /// original objective, returns the better `(matching, score, weight,
+    /// overlaps)`.
+    pub fn round(&mut self) -> (Matching, f64, f64, usize) {
+        self.l.set_weights(&self.yc);
+        let my = self.run_matcher();
+        let (score_y, wy, oy) =
+            evaluate_matching(&self.w0, self.s, &my, self.cfg.alpha, self.cfg.beta);
+        self.l.set_weights(&self.zc);
+        let mz = self.run_matcher();
+        let (score_z, wz, oz) =
+            evaluate_matching(&self.w0, self.s, &mz, self.cfg.alpha, self.cfg.beta);
+        if score_y >= score_z {
+            (my, score_y, wy, oy)
+        } else {
+            (mz, score_z, wz, oz)
+        }
+    }
+
+    /// Runs the full loop: `max_iters` message updates, rounding after
+    /// each, tracking the best matching seen.
+    ///
+    /// Iteration 0 rounds the *original* similarity weights before any
+    /// message passing — i.e. the cone-align-style direct rounding enters
+    /// the candidate pool, so the BP refinement can only improve on it
+    /// ("take the best solution we find in any step of the computation").
+    pub fn run(mut self) -> BpOutcome {
+        assert!(self.cfg.max_iters > 0, "need at least one iteration");
+        let mut history = Vec::with_capacity(self.cfg.max_iters + 1);
+        let mut best: Option<(Matching, f64, f64, usize, usize)> = {
+            self.l.set_weights(&self.w0.clone());
+            let m0 = self.run_matcher();
+            let (score, weight, overlaps) =
+                evaluate_matching(&self.w0, self.s, &m0, self.cfg.alpha, self.cfg.beta);
+            history.push(IterationRecord { iteration: 0, score, weight, overlaps });
+            Some((m0, score, weight, overlaps, 0))
+        };
+        for _ in 0..self.cfg.max_iters {
+            self.iterate();
+            let (m, score, weight, overlaps) = self.round();
+            history.push(IterationRecord {
+                iteration: self.iter,
+                score,
+                weight,
+                overlaps,
+            });
+            let better = match &best {
+                None => true,
+                Some((_, bs, _, _, _)) => score > *bs,
+            };
+            if better {
+                best = Some((m, score, weight, overlaps, self.iter));
+            }
+        }
+        let (best_matching, best_score, best_weight, best_overlaps, best_iteration) =
+            best.expect("max_iters > 0 guarantees at least one rounding");
+        BpOutcome {
+            best_matching,
+            best_score,
+            best_weight,
+            best_overlaps,
+            best_iteration,
+            history,
+        }
+    }
+}
+
+/// Splits a flat nonzero array into per-row mutable slices, returning
+/// `(row_start_offset, slice)` pairs. Rayon-friendly: the slices are
+/// disjoint by construction.
+fn split_rows<'v>(values: &'v mut [f64], offsets: &[usize]) -> Vec<(usize, &'v mut [f64])> {
+    let mut out = Vec::with_capacity(offsets.len() - 1);
+    let mut rest = values;
+    let mut consumed = 0usize;
+    for r in 0..offsets.len() - 1 {
+        let len = offsets[r + 1] - offsets[r];
+        let (head, tail) = rest.split_at_mut(len);
+        out.push((consumed, head));
+        consumed += len;
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::generators::erdos_renyi_gnm;
+    use cualign_graph::{CsrGraph, Permutation, VertexId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A ground-truthed instance: B = P(A); L contains all true pairs plus
+    /// random decoys, with the true pairs *not* distinguished by weight.
+    fn planted_instance(
+        n: usize,
+        edges: usize,
+        decoys_per_vertex: usize,
+        seed: u64,
+    ) -> (CsrGraph, CsrGraph, BipartiteGraph, Permutation) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = erdos_renyi_gnm(n, edges, &mut rng);
+        let p = Permutation::random(n, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let mut triples: Vec<(VertexId, VertexId, f64)> = Vec::new();
+        for i in 0..n as VertexId {
+            triples.push((i, p.apply(i), 0.5));
+            for _ in 0..decoys_per_vertex {
+                triples.push((i, rng.gen_range(0..n as VertexId), 0.5));
+            }
+        }
+        let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+        (a, b, l, p)
+    }
+
+    #[test]
+    fn bp_recovers_planted_alignment() {
+        let (a, b, l, p) = planted_instance(40, 100, 4, 1);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let cfg = BpConfig { max_iters: 30, ..Default::default() };
+        let out = BpEngine::new(&l, &s, &cfg).run();
+        // The true alignment conserves all |E_A| edges; BP should conserve
+        // most of them (weights alone carry no signal here).
+        assert!(
+            out.best_overlaps as f64 >= 0.8 * a.num_edges() as f64,
+            "conserved only {}/{} edges",
+            out.best_overlaps,
+            a.num_edges()
+        );
+        // And most matched pairs should be the true ones.
+        let correct = (0..40)
+            .filter(|&i| out.best_matching.mate_of_a(i as VertexId) == Some(p.apply(i as VertexId)))
+            .count();
+        assert!(correct >= 30, "only {correct}/40 true pairs recovered");
+    }
+
+    #[test]
+    fn bp_beats_weight_only_matching() {
+        // cone-align-style rounding (match on w directly) vs. BP: with
+        // uninformative weights, BP must conserve strictly more edges.
+        let (a, b, l, _) = planted_instance(30, 70, 5, 2);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let direct = locally_dominant_parallel(&l);
+        let (_, _, direct_overlaps) = (
+            0.0,
+            0.0,
+            {
+                let mut mask = vec![false; s.num_rows()];
+                for &e in direct.edge_ids() {
+                    mask[e as usize] = true;
+                }
+                s.count_matched_overlaps(&mask)
+            },
+        );
+        let cfg = BpConfig { max_iters: 25, ..Default::default() };
+        let out = BpEngine::new(&l, &s, &cfg).run();
+        assert!(
+            out.best_overlaps > direct_overlaps,
+            "BP {} ≤ direct {}",
+            out.best_overlaps,
+            direct_overlaps
+        );
+    }
+
+    #[test]
+    fn fused_and_unfused_are_identical() {
+        let (a, b, l, _) = planted_instance(25, 60, 3, 3);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let mut fused = BpEngine::new(&l, &s, &BpConfig { fused: true, ..Default::default() });
+        let mut unfused = BpEngine::new(&l, &s, &BpConfig { fused: false, ..Default::default() });
+        for _ in 0..5 {
+            fused.iterate();
+            unfused.iterate();
+            assert_eq!(fused.dc(), unfused.dc());
+            assert_eq!(fused.f(), unfused.f());
+            assert_eq!(fused.yc(), unfused.yc());
+            assert_eq!(fused.zc(), unfused.zc());
+        }
+    }
+
+    #[test]
+    fn messages_stay_finite() {
+        let (a, b, l, _) = planted_instance(20, 50, 3, 4);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let mut e = BpEngine::new(&l, &s, &BpConfig::default());
+        for _ in 0..40 {
+            e.iterate();
+        }
+        assert!(e.yc().iter().all(|x| x.is_finite()));
+        assert!(e.zc().iter().all(|x| x.is_finite()));
+        assert!(e.sp().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn f_values_respect_bounds() {
+        let (a, b, l, _) = planted_instance(20, 50, 3, 5);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let cfg = BpConfig::default();
+        let mut e = BpEngine::new(&l, &s, &cfg);
+        for _ in 0..10 {
+            e.iterate();
+            assert!(e.f().iter().all(|&x| (0.0..=cfg.beta).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn best_score_is_max_of_history() {
+        let (a, b, l, _) = planted_instance(25, 55, 4, 6);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let out = BpEngine::new(&l, &s, &BpConfig { max_iters: 15, ..Default::default() }).run();
+        let hist_max = out
+            .history
+            .iter()
+            .map(|r| r.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(out.best_score, hist_max);
+        // 15 BP iterations plus the iteration-0 direct rounding.
+        assert_eq!(out.history.len(), 16);
+        assert_eq!(out.history[0].iteration, 0);
+        assert!(out.best_iteration <= 15);
+    }
+
+    #[test]
+    fn serial_and_parallel_matchers_agree() {
+        let (a, b, l, _) = planted_instance(20, 45, 3, 7);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let o1 = BpEngine::new(
+            &l,
+            &s,
+            &BpConfig { matcher: MatcherKind::Serial, ..Default::default() },
+        )
+        .run();
+        let o2 = BpEngine::new(
+            &l,
+            &s,
+            &BpConfig { matcher: MatcherKind::Parallel, ..Default::default() },
+        )
+        .run();
+        assert_eq!(o1.best_score, o2.best_score);
+        assert_eq!(o1.best_matching, o2.best_matching);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nonfinite_weights() {
+        let (a, b, mut l, _) = planted_instance(5, 6, 1, 9);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        l.weights_mut()[0] = f64::NAN;
+        let _ = BpEngine::new(&l, &s, &BpConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        let (a, b, l, _) = planted_instance(5, 6, 1, 8);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let _ = BpEngine::new(&l, &s, &BpConfig { gamma: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for belief propagation: numeric safety, the
+//! fused/unfused equivalence, the F-bound, and outcome consistency on
+//! arbitrary random instances.
+
+use cualign_bp::{evaluate_matching, BpConfig, BpEngine};
+use cualign_graph::generators::erdos_renyi_gnm;
+use cualign_graph::{BipartiteGraph, CsrGraph};
+use cualign_overlap::OverlapMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance() -> impl Strategy<Value = (CsrGraph, CsrGraph, BipartiteGraph)> {
+    (4usize..14, 0u64..5000).prop_flat_map(|(n, seed)| {
+        prop::collection::vec((0..n as u32, 0..n as u32, 0.01f64..1.0), 2..50).prop_map(
+            move |triples| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let m = (n * 3 / 2).min(n * (n - 1) / 2);
+                let a = erdos_renyi_gnm(n, m, &mut rng);
+                let b = erdos_renyi_gnm(n, m, &mut rng);
+                let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+                (a, b, l)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Messages stay finite and F stays within [0, β] under arbitrary
+    /// structure, for several damping regimes.
+    #[test]
+    fn messages_bounded((a, b, l) in instance(), gamma in 0.3f64..1.0) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let cfg = BpConfig { gamma, ..Default::default() };
+        let mut e = BpEngine::new(&l, &s, &cfg);
+        for _ in 0..12 {
+            e.iterate();
+            prop_assert!(e.yc().iter().all(|x| x.is_finite()));
+            prop_assert!(e.zc().iter().all(|x| x.is_finite()));
+            prop_assert!(e.f().iter().all(|&x| (0.0..=cfg.beta).contains(&x)));
+        }
+    }
+
+    /// The fused Listing-1 update and the two-pass update are bit-equal.
+    #[test]
+    fn fusion_equivalence((a, b, l) in instance()) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let mut fused = BpEngine::new(&l, &s, &BpConfig { fused: true, ..Default::default() });
+        let mut unfused = BpEngine::new(&l, &s, &BpConfig { fused: false, ..Default::default() });
+        for _ in 0..4 {
+            fused.iterate();
+            unfused.iterate();
+            prop_assert_eq!(fused.f(), unfused.f());
+            prop_assert_eq!(fused.dc(), unfused.dc());
+            prop_assert_eq!(fused.yc(), unfused.yc());
+            prop_assert_eq!(fused.zc(), unfused.zc());
+        }
+    }
+
+    /// The reported best matching re-evaluates to exactly the reported
+    /// score, and the best is the maximum of the history.
+    #[test]
+    fn outcome_consistency((a, b, l) in instance()) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let cfg = BpConfig { max_iters: 6, ..Default::default() };
+        let out = BpEngine::new(&l, &s, &cfg).run();
+        out.best_matching.check_valid(&l).unwrap();
+        let (score, weight, overlaps) =
+            evaluate_matching(l.weights(), &s, &out.best_matching, cfg.alpha, cfg.beta);
+        prop_assert_eq!(score, out.best_score);
+        prop_assert_eq!(weight, out.best_weight);
+        prop_assert_eq!(overlaps, out.best_overlaps);
+        let hist_max = out.history.iter().map(|r| r.score).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(hist_max, out.best_score);
+        prop_assert_eq!(out.history.len(), 7);
+    }
+
+    /// BP's best objective is at least the direct-rounding objective (the
+    /// iteration-0 candidate guarantees it).
+    #[test]
+    fn bp_never_below_direct_rounding((a, b, l) in instance()) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let cfg = BpConfig { max_iters: 5, ..Default::default() };
+        let direct = cualign_matching::locally_dominant_parallel(&l);
+        let (direct_score, _, _) = evaluate_matching(l.weights(), &s, &direct, cfg.alpha, cfg.beta);
+        let out = BpEngine::new(&l, &s, &cfg).run();
+        prop_assert!(out.best_score >= direct_score - 1e-12);
+    }
+
+    /// Scaling α and β together scales the objective but not the argmax:
+    /// the best matching is invariant.
+    #[test]
+    fn objective_scale_invariance((a, b, l) in instance(), scale in 0.5f64..4.0) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let base = BpConfig { max_iters: 4, ..Default::default() };
+        let scaled = BpConfig {
+            alpha: base.alpha * scale,
+            beta: base.beta * scale,
+            ..base
+        };
+        let o1 = BpEngine::new(&l, &s, &base).run();
+        let o2 = BpEngine::new(&l, &s, &scaled).run();
+        prop_assert_eq!(o1.best_matching, o2.best_matching);
+    }
+}

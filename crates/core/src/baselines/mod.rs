@@ -1,0 +1,21 @@
+//! Additional alignment baselines from the paper's related-work lineage
+//! (§3), implemented to give the evaluation harness non-trivial
+//! comparators beyond cone-align:
+//!
+//! * [`isorank`] — similarity-flow alignment (Singh et al., reference
+//!   [27]): the classical "IsoRank" fixpoint where two vertices are
+//!   similar when their neighbors are similar, rounded by matching.
+//! * [`seed_expand`] — seed-and-extend reconciliation (Korula–Lattanzi,
+//!   reference [17]): start from a few high-confidence pairs and grow the
+//!   alignment by common-neighbor witnessing.
+//! * [`exact`] — exhaustive branch-and-bound over injective mappings for
+//!   tiny instances; the ground-truth oracle the test suite uses to bound
+//!   how much objective the heuristics leave on the table.
+
+pub mod exact;
+pub mod isorank;
+pub mod seed_expand;
+
+pub use exact::exact_alignment;
+pub use isorank::{isorank_align, IsoRankConfig};
+pub use seed_expand::{seed_and_expand, SeedExpandConfig};

@@ -1,0 +1,219 @@
+//! `cualign` — command-line network alignment.
+//!
+//! ```text
+//! cualign align --graph-a A.txt --graph-b B.txt [--density 0.025 | --k 10]
+//!               [--bp-iters 25] [--method cualign|cone|isorank]
+//!               [--output mapping.tsv]
+//! cualign stats --graph G.txt
+//! cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M
+//!                  [--seed S] --output G.txt
+//! ```
+//!
+//! Graphs are whitespace-separated edge lists (`# comments` allowed); the
+//! mapping output is one `u <TAB> v` pair per line.
+
+use cualign::{cone_align, isorank_align, Aligner, AlignerConfig, SparsityChoice};
+use cualign::baselines::isorank::IsoRankConfig;
+use cualign_graph::{io, stats, CsrGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--method cualign|cone|isorank] [--output OUT.tsv]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "align" => cmd_align(&flags),
+        "stats" => cmd_stats(&flags),
+        "generate" => cmd_generate(&flags),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn require<'m>(flags: &'m HashMap<String, String>, key: &str) -> Result<&'m str, String> {
+    flags
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn load(path: &str) -> Result<CsrGraph, String> {
+    io::load_edge_list(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_align(flags: &HashMap<String, String>) -> Result<(), String> {
+    let a = load(require(flags, "graph-a")?)?;
+    let b = load(require(flags, "graph-b")?)?;
+    let method = flags.get("method").map(|s| s.as_str()).unwrap_or("cualign");
+
+    let mut cfg = AlignerConfig::default();
+    if let Some(k) = flags.get("k") {
+        cfg.sparsity = SparsityChoice::K(k.parse().map_err(|e| format!("--k: {e}"))?);
+    } else if let Some(d) = flags.get("density") {
+        cfg.sparsity = SparsityChoice::Density(d.parse().map_err(|e| format!("--density: {e}"))?);
+    }
+    if let Some(n) = flags.get("bp-iters") {
+        cfg.bp.max_iters = n.parse().map_err(|e| format!("--bp-iters: {e}"))?;
+    }
+
+    let (mapping, label) = match method {
+        "cualign" => {
+            let r = Aligner::new(cfg).align(&a, &b);
+            eprintln!(
+                "cuAlign: NCV-GS3 = {:.4}, conserved = {}/{} edges, best BP iteration = {}",
+                r.scores.ncv_gs3,
+                r.scores.conserved_edges,
+                a.num_edges(),
+                r.bp.best_iteration
+            );
+            (r.mapping, "cualign")
+        }
+        "cone" => {
+            let r = cone_align(&a, &b, &cfg);
+            eprintln!(
+                "cone-align: NCV-GS3 = {:.4}, conserved = {}/{} edges",
+                r.scores.ncv_gs3,
+                r.scores.conserved_edges,
+                a.num_edges()
+            );
+            (r.mapping, "cone")
+        }
+        "isorank" => {
+            let r = isorank_align(&a, &b, &IsoRankConfig::default());
+            eprintln!(
+                "IsoRank: NCV-GS3 = {:.4}, conserved = {}/{} edges",
+                r.scores.ncv_gs3,
+                r.scores.conserved_edges,
+                a.num_edges()
+            );
+            (r.mapping, "isorank")
+        }
+        other => return Err(format!("unknown --method '{other}'")),
+    };
+
+    let mut out: Box<dyn Write> = match flags.get("output") {
+        Some(path) => Box::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdout()),
+    };
+    writeln!(out, "# method: {label}").map_err(|e| e.to_string())?;
+    for (u, v) in mapping.iter().enumerate().filter_map(|(u, m)| m.map(|v| (u, v))) {
+        writeln!(out, "{u}\t{v}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load(require(flags, "graph")?)?;
+    let ds = stats::degree_stats(&g);
+    println!("vertices:   {}", g.num_vertices());
+    println!("edges:      {}", g.num_edges());
+    println!("degree:     min {} / mean {:.2} / max {} (σ {:.2})", ds.min, ds.mean, ds.max, ds.std_dev);
+    println!("clustering: {:.4}", stats::global_clustering(&g));
+    println!("components: {}", stats::connected_components(&g));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let f = parse_flags(&v(&["--graph-a", "a.txt", "--k", "10"])).unwrap();
+        assert_eq!(f.get("graph-a").unwrap(), "a.txt");
+        assert_eq!(f.get("k").unwrap(), "10");
+    }
+
+    #[test]
+    fn rejects_positional_garbage() {
+        assert!(parse_flags(&v(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse_flags(&v(&["--k"])).is_err());
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert!(parse_flags(&[]).unwrap().is_empty());
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    use cualign_graph::generators::*;
+    let model = require(flags, "model")?;
+    let n: usize = require(flags, "vertices")?
+        .parse()
+        .map_err(|e| format!("--vertices: {e}"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m: usize = flags
+        .get("edges")
+        .map(|s| s.parse().map_err(|e| format!("--edges: {e}")))
+        .transpose()?
+        .unwrap_or(3 * n);
+    let g = match model {
+        "er" => erdos_renyi_gnm(n, m, &mut rng),
+        "ba" => barabasi_albert(n, (m / n).max(1), &mut rng),
+        "ws" => watts_strogatz(n, ((2 * m / n).max(2) / 2) * 2, 0.1, &mut rng),
+        "dd" => with_edge_budget(&duplication_divergence(n, 0.4, 0.28, &mut rng), m, &mut rng),
+        "powerlaw" => powerlaw_configuration(n, m, 2.5, &mut rng),
+        other => return Err(format!("unknown --model '{other}'")),
+    };
+    let path = require(flags, "output")?;
+    io::save_edge_list(&g, path).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {} ({} vertices, {} edges)", path, g.num_vertices(), g.num_edges());
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # cualign
+//!
+//! A from-scratch Rust implementation of **cuAlign** (Xiang, Khan, Ferdous,
+//! Aravind, Halappanavar — SC-W 2023): scalable global network alignment
+//! combining proximity-preserving node embeddings, subspace alignment, kNN
+//! sparsification, belief propagation on the alignment quadratic program,
+//! and half-approximate weighted matching.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cualign::{Aligner, AlignerConfig};
+//! use cualign_graph::generators::erdos_renyi_gnm;
+//! use cualign_graph::permutation::AlignmentInstance;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let a = erdos_renyi_gnm(120, 360, &mut rng);
+//! let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+//!
+//! let mut cfg = AlignerConfig::default();
+//! cfg.bp.max_iters = 10;
+//! let result = Aligner::new(cfg).align(&inst.a, &inst.b);
+//! println!("NCV-GS3 = {:.3}", result.scores.ncv_gs3);
+//! assert!(result.scores.ncv_gs3 > 0.0);
+//! ```
+//!
+//! ## Architecture
+//!
+//! The pipeline (paper Fig. 2) is assembled from dedicated crates:
+//! `cualign-graph` (substrate), `cualign-linalg` (SVD/Sinkhorn/Procrustes),
+//! `cualign-embed` (embeddings + Eq. 2), `cualign-sparsify` (kNN → `L`),
+//! `cualign-overlap` (matrix `S`), `cualign-bp` (Algorithm 2),
+//! `cualign-matching` (§4.3), and `cualign-gpusim` (the GPU cost model for
+//! the Table 2 study). This crate provides the user-facing [`Aligner`],
+//! the [`conealign`] baseline, alignment [`scoring`], and the paper's
+//! named [`inputs`].
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod conealign;
+pub mod config;
+pub mod inputs;
+pub mod pipeline;
+pub mod scoring;
+
+pub use baselines::{exact_alignment, isorank_align, seed_and_expand};
+pub use conealign::{cone_align, ConeAlignResult};
+pub use config::{AlignerConfig, SparsityChoice};
+pub use inputs::PaperInput;
+pub use pipeline::{Aligner, AlignmentResult, StageTimings};
+pub use scoring::{score_alignment, AlignmentScores};

@@ -1,0 +1,167 @@
+//! Alignment quality metrics.
+//!
+//! The paper scores with **NCV-GS³** (§6.1, after Meng et al.): the
+//! geometric mean of *node coverage* (how much of both vertex sets the
+//! alignment touches) and the *generalized symmetric substructure score*
+//! (how well edges are conserved, symmetrically normalized). Alignments
+//! above 0.8 are considered good in the literature the paper cites.
+//! The classical EC / ICS / S³ metrics are computed alongside.
+
+use cualign_graph::{CsrGraph, VertexId};
+use std::collections::HashSet;
+
+/// The standard alignment quality metrics for a (partial) vertex mapping.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlignmentScores {
+    /// Conserved edges: `(u,v) ∈ E_A` with both endpoints mapped and
+    /// `(f(u), f(v)) ∈ E_B`.
+    pub conserved_edges: usize,
+    /// Edge correctness: conserved / `|E_A|`.
+    pub ec: f64,
+    /// Induced conserved structure: conserved / edges of `B` induced on
+    /// the image of the mapping.
+    pub ics: f64,
+    /// Symmetric substructure score:
+    /// conserved / (`|E_A(dom)|` + `|E_B(img)|` − conserved), where the
+    /// domain/image restrictions keep the score honest for partial maps.
+    pub s3: f64,
+    /// Node coverage: `2·|mapping| / (|V_A| + |V_B|)`.
+    pub ncv: f64,
+    /// The paper's headline metric: `√(NCV · GS³)`.
+    pub ncv_gs3: f64,
+}
+
+/// Scores a partial vertex mapping `mapping[u] = Some(f(u))` from `a`
+/// into `b`.
+///
+/// # Panics
+/// Panics if `mapping.len() != |V_A|` or an image is out of range.
+pub fn score_alignment(a: &CsrGraph, b: &CsrGraph, mapping: &[Option<VertexId>]) -> AlignmentScores {
+    assert_eq!(mapping.len(), a.num_vertices(), "mapping length ≠ |V_A|");
+    for m in mapping.iter().flatten() {
+        assert!((*m as usize) < b.num_vertices(), "image {m} out of range");
+    }
+
+    let mapped: usize = mapping.iter().filter(|m| m.is_some()).count();
+    // Conserved edges and the domain-restricted edge count of A.
+    let mut conserved = 0usize;
+    let mut dom_edges = 0usize;
+    for (u, v) in a.edges() {
+        if let (Some(fu), Some(fv)) = (mapping[u as usize], mapping[v as usize]) {
+            dom_edges += 1;
+            if b.has_edge(fu, fv) {
+                conserved += 1;
+            }
+        }
+    }
+    // Edges of B induced on the image set.
+    let image: HashSet<VertexId> = mapping.iter().flatten().copied().collect();
+    let img_edges = b
+        .edges()
+        .filter(|&(x, y)| image.contains(&x) && image.contains(&y))
+        .count();
+
+    let ea = a.num_edges();
+    let ec = if ea == 0 { 0.0 } else { conserved as f64 / ea as f64 };
+    let ics = if img_edges == 0 {
+        0.0
+    } else {
+        conserved as f64 / img_edges as f64
+    };
+    let s3_den = dom_edges + img_edges - conserved;
+    let s3 = if s3_den == 0 {
+        0.0
+    } else {
+        conserved as f64 / s3_den as f64
+    };
+    let nv = a.num_vertices() + b.num_vertices();
+    let ncv = if nv == 0 { 0.0 } else { 2.0 * mapped as f64 / nv as f64 };
+    AlignmentScores {
+        conserved_edges: conserved,
+        ec,
+        ics,
+        s3,
+        ncv,
+        ncv_gs3: (ncv * s3).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::generators::erdos_renyi_gnm;
+    use cualign_graph::Permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_self_alignment_scores_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = erdos_renyi_gnm(50, 120, &mut rng);
+        let id: Vec<Option<VertexId>> = (0..50).map(Some).collect();
+        let s = score_alignment(&a, &a, &id);
+        assert_eq!(s.conserved_edges, 120);
+        assert!((s.ec - 1.0).abs() < 1e-12);
+        assert!((s.ics - 1.0).abs() < 1e-12);
+        assert!((s.s3 - 1.0).abs() < 1e-12);
+        assert!((s.ncv - 1.0).abs() < 1e-12);
+        assert!((s.ncv_gs3 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_permutation_scores_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = erdos_renyi_gnm(40, 90, &mut rng);
+        let p = Permutation::random(40, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let mapping: Vec<Option<VertexId>> = (0..40).map(|i| Some(p.apply(i))).collect();
+        let s = score_alignment(&a, &b, &mapping);
+        assert!((s.ncv_gs3 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mapping_scores_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = erdos_renyi_gnm(20, 40, &mut rng);
+        let mapping = vec![None; 20];
+        let s = score_alignment(&a, &a, &mapping);
+        assert_eq!(s.conserved_edges, 0);
+        assert_eq!(s.ncv, 0.0);
+        assert_eq!(s.ncv_gs3, 0.0);
+    }
+
+    #[test]
+    fn wrong_mapping_scores_low() {
+        // Map a path onto itself shifted by one: few edges conserved.
+        let a = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let shifted: Vec<Option<VertexId>> = (0..6).map(|i| Some((i + 3) % 6)).collect();
+        let s = score_alignment(&a, &a, &shifted);
+        assert!(s.ec < 1.0);
+        assert!(s.ncv_gs3 < 1.0);
+        // But NCV is full: every vertex is mapped.
+        assert!((s.ncv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_mapping_uses_restricted_denominators() {
+        // Only two vertices mapped, the edge between them conserved: S3
+        // restricted to the domain/image must be 1, NCV must be small.
+        let a = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut mapping = vec![None; 4];
+        mapping[0] = Some(0);
+        mapping[1] = Some(1);
+        let s = score_alignment(&a, &a, &mapping);
+        assert_eq!(s.conserved_edges, 1);
+        assert!((s.s3 - 1.0).abs() < 1e-12);
+        assert!((s.ncv - 0.5).abs() < 1e-12);
+        assert!((s.ncv_gs3 - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_image() {
+        let a = CsrGraph::empty(2);
+        let b = CsrGraph::empty(2);
+        let _ = score_alignment(&a, &b, &[Some(5), None]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the alignment quality metrics: bounds,
+//! consistency relations, and behavior under mapping edits, for arbitrary
+//! graphs and partial mappings.
+
+use cualign::score_alignment;
+use cualign_graph::{CsrGraph, Permutation, VertexId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary graph + arbitrary partial injective mapping into a second
+/// graph of the same size.
+fn instance() -> impl Strategy<Value = (CsrGraph, CsrGraph, Vec<Option<VertexId>>)> {
+    (3usize..20, 0u64..5000).prop_flat_map(|(n, seed)| {
+        prop::collection::vec(prop::option::of(0..n as VertexId), n).prop_map(move |raw| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = (n * 2).min(n * (n - 1) / 2);
+            let a = cualign_graph::generators::erdos_renyi_gnm(n, m, &mut rng);
+            let b = cualign_graph::generators::erdos_renyi_gnm(n, m, &mut rng);
+            // Make the raw mapping injective: first occurrence wins.
+            let mut used = vec![false; n];
+            let mapping: Vec<Option<VertexId>> = raw
+                .into_iter()
+                .map(|o| match o {
+                    Some(v) if !used[v as usize] => {
+                        used[v as usize] = true;
+                        Some(v)
+                    }
+                    _ => None,
+                })
+                .collect();
+            (a, b, mapping)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All metrics live in [0, 1]; conserved is bounded by |E_A|.
+    #[test]
+    fn metric_bounds((a, b, mapping) in instance()) {
+        let s = score_alignment(&a, &b, &mapping);
+        for (name, v) in [
+            ("ec", s.ec),
+            ("ics", s.ics),
+            ("s3", s.s3),
+            ("ncv", s.ncv),
+            ("ncv_gs3", s.ncv_gs3),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{} = {} out of range", name, v);
+        }
+        prop_assert!(s.conserved_edges <= a.num_edges());
+    }
+
+    /// NCV-GS³ is exactly the geometric mean of NCV and S³.
+    #[test]
+    fn ncv_gs3_is_geometric_mean((a, b, mapping) in instance()) {
+        let s = score_alignment(&a, &b, &mapping);
+        prop_assert!((s.ncv_gs3 - (s.ncv * s.s3).sqrt()).abs() < 1e-12);
+    }
+
+    /// S³ never exceeds EC's restricted counterpart: the S³ denominator
+    /// dominates the conserved count, and ICS ≥ S³ always (its
+    /// denominator is a subset term).
+    #[test]
+    fn metric_ordering((a, b, mapping) in instance()) {
+        let s = score_alignment(&a, &b, &mapping);
+        if s.conserved_edges > 0 {
+            prop_assert!(s.ics >= s.s3 - 1e-12, "ics {} < s3 {}", s.ics, s.s3);
+        }
+    }
+
+    /// Un-mapping a vertex never increases the conserved-edge count and
+    /// never increases NCV.
+    #[test]
+    fn unmapping_is_monotone((a, b, mapping) in instance(), idx in 0usize..20) {
+        let s_full = score_alignment(&a, &b, &mapping);
+        let mut reduced = mapping.clone();
+        if idx < reduced.len() {
+            reduced[idx] = None;
+        }
+        let s_red = score_alignment(&a, &b, &reduced);
+        prop_assert!(s_red.conserved_edges <= s_full.conserved_edges);
+        prop_assert!(s_red.ncv <= s_full.ncv + 1e-12);
+    }
+
+    /// A true isomorphism scores exactly 1 on every metric.
+    #[test]
+    fn isomorphism_scores_one(n in 4usize..25, seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = (n * 2).min(n * (n - 1) / 2);
+        let a = cualign_graph::generators::erdos_renyi_gnm(n, m, &mut rng);
+        let p = Permutation::random(n, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let mapping: Vec<Option<VertexId>> =
+            (0..n as VertexId).map(|u| Some(p.apply(u))).collect();
+        let s = score_alignment(&a, &b, &mapping);
+        prop_assert!((s.ncv_gs3 - 1.0).abs() < 1e-12);
+        prop_assert_eq!(s.conserved_edges, a.num_edges());
+    }
+}

@@ -1,0 +1,169 @@
+//! Exact NetMF-window embedding for small graphs.
+//!
+//! cone-align (the embedding source the paper builds on) factorizes the
+//! NetMF matrix
+//!
+//! ```text
+//! M = log⁺( vol(G)/(b·T) · Σ_{r=1..T} (D⁻¹A)ʳ D⁻¹ )
+//! ```
+//!
+//! where `log⁺(x) = ln(max(x, 1))` and `b` is the negative-sampling count.
+//! The intermediate is dense `n × n`, so this embedder is reserved for
+//! `n ≲ 4000` (tests, small experiments); the scalable default is
+//! [`crate::proximity::fastrp_embedding`]. DESIGN.md §2 records this
+//! substitution.
+//!
+//! Factorization uses a randomized range finder + the crate's Jacobi SVD:
+//! `M ≈ Q (QᵀM)`, `svd((QᵀM)ᵀ) = U Σ Vᵀ`, embedding `= (Q V) √Σ`.
+
+use cualign_graph::{CsrGraph, VertexId};
+use cualign_linalg::qr::orthonormalize;
+use cualign_linalg::svd::jacobi_svd;
+use cualign_linalg::{vecops, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`netmf_embedding`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetMfConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Window size `T` (number of hop powers summed).
+    pub window: usize,
+    /// Negative sampling constant `b`.
+    pub negative: f64,
+    /// RNG seed for the randomized factorization.
+    pub seed: u64,
+    /// Row-normalize the result.
+    pub normalize: bool,
+}
+
+impl Default for NetMfConfig {
+    fn default() -> Self {
+        NetMfConfig { dim: 64, window: 5, negative: 1.0, seed: 0xfeed, normalize: true }
+    }
+}
+
+/// Hard cap on `n` to stop accidental dense `n × n` blowups.
+pub const NETMF_MAX_VERTICES: usize = 4096;
+
+/// Computes the exact (dense) NetMF matrix `M` of the graph.
+fn netmf_matrix(g: &CsrGraph, window: usize, negative: f64) -> DenseMatrix {
+    let n = g.num_vertices();
+    let vol = (2 * g.num_edges()) as f64;
+    // P = D⁻¹A as dense; power accumulation S = Σ Pʳ.
+    let mut p = DenseMatrix::zeros(n, n);
+    for u in 0..n as VertexId {
+        let deg = g.degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let w = 1.0 / deg as f64;
+        for &v in g.neighbors(u) {
+            p[(u as usize, v as usize)] = w;
+        }
+    }
+    let mut acc = p.clone();
+    let mut power = p.clone();
+    for _ in 1..window {
+        power = power.matmul(&p);
+        acc = acc.add(&power);
+    }
+    // M_raw = vol/(b·T) · acc · D⁻¹; then log⁺ elementwise.
+    let scale = vol / (negative * window as f64);
+    let mut m = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let deg_j = g.degree(j as VertexId);
+            if deg_j == 0 {
+                continue;
+            }
+            let x = scale * acc[(i, j)] / deg_j as f64;
+            m[(i, j)] = if x > 1.0 { x.ln() } else { 0.0 };
+        }
+    }
+    m
+}
+
+/// Computes the NetMF embedding.
+///
+/// # Panics
+/// Panics if `g.num_vertices() > NETMF_MAX_VERTICES`, if `dim` is zero or
+/// exceeds `n`, or if `window == 0`.
+pub fn netmf_embedding(g: &CsrGraph, cfg: &NetMfConfig) -> DenseMatrix {
+    let n = g.num_vertices();
+    assert!(
+        n <= NETMF_MAX_VERTICES,
+        "NetMF is dense O(n²); n = {n} exceeds cap {NETMF_MAX_VERTICES} — use fastrp_embedding"
+    );
+    assert!(cfg.dim > 0 && cfg.dim <= n, "dim must be in 1..=n");
+    assert!(cfg.window > 0, "window must be positive");
+
+    let m = netmf_matrix(g, cfg.window, cfg.negative);
+    // Randomized range finder with a little oversampling.
+    let oversample = (cfg.dim + 8).min(n);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let omega = DenseMatrix::gaussian(n, oversample, &mut rng);
+    let q = orthonormalize(&m.matmul(&omega)); // n × oversample
+    let b = q.transpose_matmul(&m); // oversample × n  (QᵀM)
+    let svd = jacobi_svd(&b.transpose()); // svd of n × oversample (tall)
+    // b = V Σ Uᵀ with U = svd.u (n × k), V = svd.v (k × k).
+    // M ≈ Q b = (Q V) Σ Uᵀ; left embedding = (Q V) √Σ, truncated to dim.
+    let qv = q.matmul(&svd.v); // n × oversample
+    let mut emb = DenseMatrix::zeros(n, cfg.dim);
+    for i in 0..n {
+        for j in 0..cfg.dim {
+            emb[(i, j)] = qv[(i, j)] * svd.sigma[j].max(0.0).sqrt();
+        }
+    }
+    if cfg.normalize {
+        vecops::normalize_rows(&mut emb);
+    }
+    emb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proximity::neighborhood_coherence;
+    use cualign_graph::generators::{erdos_renyi_gnm, watts_strogatz};
+
+    #[test]
+    fn shape_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(80, 200, &mut rng);
+        let cfg = NetMfConfig { dim: 16, ..Default::default() };
+        let y1 = netmf_embedding(&g, &cfg);
+        let y2 = netmf_embedding(&g, &cfg);
+        assert_eq!(y1.rows(), 80);
+        assert_eq!(y1.cols(), 16);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn netmf_is_proximity_preserving() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = watts_strogatz(200, 8, 0.05, &mut rng);
+        let y = netmf_embedding(&g, &NetMfConfig { dim: 32, ..Default::default() });
+        let c = neighborhood_coherence(&g, &y, 1000, 3);
+        assert!(c > 0.15, "coherence only {c}");
+    }
+
+    #[test]
+    fn netmf_matrix_nonnegative_with_zeros_off_structure() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = netmf_matrix(&g, 3, 1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(m[(i, j)] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cap")]
+    fn rejects_large_graphs() {
+        let g = CsrGraph::empty(NETMF_MAX_VERTICES + 1);
+        let _ = netmf_embedding(&g, &NetMfConfig::default());
+    }
+}

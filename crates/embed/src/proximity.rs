@@ -1,0 +1,216 @@
+//! Proximity-preserving node embedding by iterated-propagation random
+//! projection (the FastRP family).
+//!
+//! Start from a random Gaussian projection `R ∈ R^{n×d}`, repeatedly smooth
+//! it through the degree-normalized adjacency operator `P = D⁻¹A`, and
+//! combine the hop powers with decaying weights:
+//!
+//! ```text
+//! Y = Σ_{r=1..T}  w_r · Pʳ R,      w_r = decay^(r-1)
+//! ```
+//!
+//! Vertices with similar multi-hop neighborhoods receive similar rows — the
+//! "proximity-based embedding" the paper's Algorithm 1 requires. Degree
+//! normalization keeps hub rows from dominating; a final row normalization
+//! makes downstream cosine similarity a plain dot product.
+//!
+//! Everything is `O(T · nnz · d)` with rayon-parallel propagation, so the
+//! 10k-vertex inputs of Table 1 embed in milliseconds.
+
+use cualign_graph::{CsrGraph, VertexId};
+use cualign_linalg::{vecops, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Configuration for [`fastrp_embedding`].
+#[derive(Clone, Copy, Debug)]
+pub struct FastRpConfig {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Number of propagation hops `T`.
+    pub hops: usize,
+    /// Per-hop weight decay: hop `r` contributes with weight `decay^(r-1)`.
+    pub decay: f64,
+    /// RNG seed for the initial projection.
+    pub seed: u64,
+    /// Whether to row-normalize the final embedding (recommended: cosine
+    /// similarity becomes a dot product).
+    pub normalize: bool,
+}
+
+impl Default for FastRpConfig {
+    fn default() -> Self {
+        FastRpConfig { dim: 64, hops: 4, decay: 0.7, seed: 0x5eed, normalize: true }
+    }
+}
+
+/// One step of `Y ← D⁻¹ A · Y`, parallel over vertices. Isolated vertices
+/// keep a zero row.
+fn propagate(g: &CsrGraph, y: &DenseMatrix) -> DenseMatrix {
+    let n = g.num_vertices();
+    let d = y.cols();
+    let mut out = DenseMatrix::zeros(n, d);
+    out.data_mut()
+        .par_chunks_mut(d)
+        .enumerate()
+        .for_each(|(u, row)| {
+            let nbrs = g.neighbors(u as VertexId);
+            if nbrs.is_empty() {
+                return;
+            }
+            for &v in nbrs {
+                let src = y.row(v as usize);
+                for j in 0..d {
+                    row[j] += src[j];
+                }
+            }
+            let inv_deg = 1.0 / nbrs.len() as f64;
+            for x in row {
+                *x *= inv_deg;
+            }
+        });
+    out
+}
+
+/// Computes the FastRP-style proximity embedding of `g`.
+///
+/// # Panics
+/// Panics if `dim == 0` or `hops == 0`.
+pub fn fastrp_embedding(g: &CsrGraph, cfg: &FastRpConfig) -> DenseMatrix {
+    assert!(cfg.dim > 0, "embedding dimension must be positive");
+    assert!(cfg.hops > 0, "need at least one propagation hop");
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let r = DenseMatrix::gaussian(n, cfg.dim, &mut rng);
+
+    let mut acc = DenseMatrix::zeros(n, cfg.dim);
+    let mut cur = r;
+    let mut weight = 1.0;
+    for _ in 0..cfg.hops {
+        cur = propagate(g, &cur);
+        // acc += weight * cur
+        acc.data_mut()
+            .par_chunks_mut(cfg.dim)
+            .zip(cur.data().par_chunks(cfg.dim))
+            .for_each(|(a, c)| {
+                for j in 0..cfg.dim {
+                    a[j] += weight * c[j];
+                }
+            });
+        weight *= cfg.decay;
+    }
+    if cfg.normalize {
+        vecops::normalize_rows(&mut acc);
+    }
+    acc
+}
+
+/// Mean cosine similarity between embedding rows of adjacent vertex pairs
+/// minus that of random pairs — a scalar diagnostic that the embedding is
+/// actually proximity-preserving (positive and large = good). Used by tests
+/// and examples.
+pub fn neighborhood_coherence(g: &CsrGraph, y: &DenseMatrix, samples: usize, seed: u64) -> f64 {
+    use rand::Rng;
+    let n = g.num_vertices();
+    if n < 2 || g.num_edges() == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = g.edge_list();
+    let mut adj_sim = 0.0;
+    let mut rnd_sim = 0.0;
+    for _ in 0..samples {
+        let &(u, v) = &edges[rng.gen_range(0..edges.len())];
+        adj_sim += vecops::cosine_similarity(y.row(u as usize), y.row(v as usize));
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        rnd_sim += vecops::cosine_similarity(y.row(a), y.row(b));
+    }
+    (adj_sim - rnd_sim) / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::generators::{barabasi_albert, erdos_renyi_gnm, watts_strogatz};
+    use cualign_graph::Permutation;
+
+    #[test]
+    fn shape_and_normalization() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(100, 300, &mut rng);
+        let y = fastrp_embedding(&g, &FastRpConfig::default());
+        assert_eq!(y.rows(), 100);
+        assert_eq!(y.cols(), 64);
+        for i in 0..100 {
+            let n = vecops::norm(y.row(i));
+            assert!((n - 1.0).abs() < 1e-9 || n == 0.0, "row {i} norm {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(200, 3, &mut rng);
+        let cfg = FastRpConfig::default();
+        let y1 = fastrp_embedding(&g, &cfg);
+        let y2 = fastrp_embedding(&g, &cfg);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn neighbors_embed_closer_than_random() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = watts_strogatz(400, 8, 0.05, &mut rng);
+        let y = fastrp_embedding(&g, &FastRpConfig::default());
+        let coherence = neighborhood_coherence(&g, &y, 2000, 7);
+        assert!(coherence > 0.2, "coherence only {coherence}");
+    }
+
+    #[test]
+    fn isolated_vertices_get_zero_rows() {
+        let g = CsrGraph::from_edges(4, &[(0, 1)]);
+        let y = fastrp_embedding(&g, &FastRpConfig { normalize: false, ..Default::default() });
+        assert!(y.row(2).iter().all(|&x| x == 0.0));
+        assert!(y.row(3).iter().all(|&x| x == 0.0));
+        assert!(y.row(0).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn embedding_is_equivariant_under_relabeling() {
+        // Relabeling the graph and permuting the random projection the same
+        // way must permute the embedding rows: check via the structural
+        // property that a permuted graph with the same per-vertex projection
+        // rows yields permuted embeddings.  We verify the weaker, directly
+        // observable property: degree-0 ↦ zero rows, and per-vertex rows
+        // depend only on the neighborhood structure.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = erdos_renyi_gnm(60, 150, &mut rng);
+        let p = Permutation::random(60, &mut StdRng::seed_from_u64(5));
+        let h = p.apply_to_graph(&g);
+        // Propagation of the *same* matrix must commute with relabeling.
+        let x = DenseMatrix::gaussian(60, 8, &mut StdRng::seed_from_u64(6));
+        // Build permuted x: row P(i) of xp equals row i of x.
+        let mut xp = DenseMatrix::zeros(60, 8);
+        for i in 0..60 {
+            let pi = p.apply(i as VertexId) as usize;
+            xp.row_mut(pi).copy_from_slice(x.row(i));
+        }
+        let prop_g = propagate(&g, &x);
+        let prop_h = propagate(&h, &xp);
+        for i in 0..60 {
+            let pi = p.apply(i as VertexId) as usize;
+            for j in 0..8 {
+                assert!((prop_g[(i, j)] - prop_h[(pi, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn rejects_zero_dim() {
+        let g = CsrGraph::empty(3);
+        let _ = fastrp_embedding(&g, &FastRpConfig { dim: 0, ..Default::default() });
+    }
+}

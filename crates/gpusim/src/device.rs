@@ -1,0 +1,151 @@
+//! Hardware descriptions for the cost model.
+
+/// A device the cost model can charge work against. Two presets mirror the
+/// paper's testbed: [`DeviceSpec::a100`] and [`DeviceSpec::epyc7702p`].
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Parallel execution units (GPU: SMs; CPU: cores).
+    pub num_units: usize,
+    /// SIMT lanes per scheduled warp (CPU: 1 — no lane idling, no
+    /// coalescing constraint beyond the cache line).
+    pub warp_width: u32,
+    /// Warps resident per unit for latency hiding (GPU occupancy; CPU: 1
+    /// hardware thread per core in this model, SMT ignored).
+    pub warps_per_unit: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustainable DRAM bandwidth in GB/s (HBM2 vs. 8-channel DDR4).
+    pub dram_gbps: f64,
+    /// Memory transaction granularity in bytes (GPU: 32 B sectors; CPU:
+    /// 64 B cache lines).
+    pub transaction_bytes: usize,
+    /// Average DRAM transaction latency in core cycles.
+    pub dram_latency_cycles: f64,
+    /// Outstanding scattered requests sustainable per warp slot
+    /// (memory-level parallelism). Streaming/coalesced traffic is assumed
+    /// fully pipelined and is charged to bandwidth only.
+    pub memory_parallelism: f64,
+    /// Scalar double-precision operations per lane per cycle.
+    pub flops_per_lane_cycle: f64,
+    /// Fixed cost of launching one kernel (GPU) or forking one parallel
+    /// region (CPU), in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100 (SXM4-40GB, CUDA 11 era) — the paper's GPU platform.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA A100",
+            num_units: 108,
+            warp_width: 32,
+            warps_per_unit: 8,
+            clock_ghz: 1.41,
+            dram_gbps: 1555.0,
+            transaction_bytes: 32,
+            dram_latency_cycles: 400.0,
+            memory_parallelism: 12.0,
+            flops_per_lane_cycle: 2.0, // FMA per lane
+            launch_overhead_s: 5e-6,
+        }
+    }
+
+    /// NVIDIA V100 (SXM2-32GB) — the previous GPU generation, for
+    /// cross-generation sweeps of the model.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA V100",
+            num_units: 80,
+            warp_width: 32,
+            warps_per_unit: 8,
+            clock_ghz: 1.38,
+            dram_gbps: 900.0,
+            transaction_bytes: 32,
+            dram_latency_cycles: 440.0,
+            memory_parallelism: 10.0,
+            flops_per_lane_cycle: 2.0,
+            launch_overhead_s: 6e-6,
+        }
+    }
+
+    /// NVIDIA H100 (SXM5-80GB) — the generation after the paper's A100.
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "NVIDIA H100",
+            num_units: 132,
+            warp_width: 32,
+            warps_per_unit: 8,
+            clock_ghz: 1.83,
+            dram_gbps: 3350.0,
+            transaction_bytes: 32,
+            dram_latency_cycles: 380.0,
+            memory_parallelism: 14.0,
+            flops_per_lane_cycle: 2.0,
+            launch_overhead_s: 4e-6,
+        }
+    }
+
+    /// AMD EPYC 7702P, 64 cores, 8-channel DDR4-3200 — the paper's CPU
+    /// platform. `warp_width = 1`: no SIMT lane idling; vector units are
+    /// folded into `flops_per_lane_cycle`.
+    pub fn epyc7702p() -> Self {
+        DeviceSpec {
+            name: "AMD EPYC 7702P",
+            num_units: 64,
+            warp_width: 1,
+            warps_per_unit: 1,
+            clock_ghz: 2.0,
+            dram_gbps: 120.0, // sustained 8-channel DDR4 triad
+            transaction_bytes: 64,
+            dram_latency_cycles: 200.0,
+            memory_parallelism: 10.0,  // out-of-order MSHRs per core
+            flops_per_lane_cycle: 8.0, // AVX2 FMA on f64
+            launch_overhead_s: 3e-6,   // parallel-region fork/join barrier
+        }
+    }
+
+    /// Total warp issue slots across the device.
+    pub fn warp_slots(&self) -> usize {
+        self.num_units * self.warps_per_unit
+    }
+
+    /// Peak lane-cycles per second.
+    pub fn lane_throughput(&self) -> f64 {
+        self.num_units as f64 * self.warp_width as f64 * self.clock_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let gpu = DeviceSpec::a100();
+        let cpu = DeviceSpec::epyc7702p();
+        assert_eq!(gpu.num_units, 108);
+        assert_eq!(cpu.warp_width, 1);
+        // The bandwidth ratio drives the paper's BP speedups (5–19×).
+        let ratio = gpu.dram_gbps / cpu.dram_gbps;
+        assert!(ratio > 10.0 && ratio < 20.0, "bandwidth ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        let gpu = DeviceSpec::a100();
+        assert_eq!(gpu.warp_slots(), 108 * 8);
+        assert!(gpu.lane_throughput() > 4e12);
+    }
+
+    #[test]
+    fn generations_order_sensibly() {
+        let v = DeviceSpec::v100();
+        let a = DeviceSpec::a100();
+        let h = DeviceSpec::h100();
+        assert!(v.dram_gbps < a.dram_gbps && a.dram_gbps < h.dram_gbps);
+        assert!(v.lane_throughput() < a.lane_throughput());
+        assert!(a.lane_throughput() < h.lane_throughput());
+    }
+}

@@ -1,0 +1,65 @@
+//! Per-work-item resource footprints.
+//!
+//! A kernel describes, for a work item of size `s` (neighbors, nonzeros…),
+//! how many contiguous f64 loads, scattered (indirect) f64 loads,
+//! contiguous f64 stores, and floating-point operations one item costs.
+//! The executor scales these by the real item sizes of the run.
+
+/// Resource consumption of one work item (all counts in f64 elements /
+/// scalar flops).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Footprint {
+    /// f64 loads from addresses contiguous across lanes (coalescible).
+    pub contiguous_reads: usize,
+    /// f64 loads through an indirection (one transaction per lane).
+    pub scattered_reads: usize,
+    /// f64 stores, contiguous across lanes.
+    pub contiguous_writes: usize,
+    /// f64 stores through an indirection.
+    pub scattered_writes: usize,
+    /// Floating-point operations.
+    pub flops: usize,
+}
+
+impl Footprint {
+    /// Element-wise sum.
+    pub fn add(&self, other: &Footprint) -> Footprint {
+        Footprint {
+            contiguous_reads: self.contiguous_reads + other.contiguous_reads,
+            scattered_reads: self.scattered_reads + other.scattered_reads,
+            contiguous_writes: self.contiguous_writes + other.contiguous_writes,
+            scattered_writes: self.scattered_writes + other.scattered_writes,
+            flops: self.flops + other.flops,
+        }
+    }
+
+    /// Scales all counts by `k` items.
+    pub fn scaled(&self, k: usize) -> Footprint {
+        Footprint {
+            contiguous_reads: self.contiguous_reads * k,
+            scattered_reads: self.scattered_reads * k,
+            contiguous_writes: self.contiguous_writes * k,
+            scattered_writes: self.scattered_writes * k,
+            flops: self.flops * k,
+        }
+    }
+
+    /// Total f64 elements touched.
+    pub fn total_elements(&self) -> usize {
+        self.contiguous_reads + self.scattered_reads + self.contiguous_writes + self.scattered_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_scale() {
+        let a = Footprint { contiguous_reads: 1, scattered_reads: 2, contiguous_writes: 3, scattered_writes: 0, flops: 4 };
+        let b = a.add(&a);
+        assert_eq!(b.scattered_reads, 4);
+        assert_eq!(a.scaled(3).flops, 12);
+        assert_eq!(a.total_elements(), 6);
+    }
+}

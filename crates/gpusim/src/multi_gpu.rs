@@ -1,0 +1,267 @@
+//! Multi-GPU scaling model for belief propagation — the paper's stated
+//! future work (§7: "We will also explore distributed multi-GPU
+//! implementations of belief propagation and weighted matching").
+//!
+//! Decomposition modeled: rows of the overlap matrix `S` (i.e. edges of
+//! `L`) are range-partitioned across `G` devices. Each BP iteration then
+//! consists of
+//!
+//! 1. **local phase** — every device runs the full kernel family on its
+//!    shard (bulk resources scale ≈ 1/G; the imbalance tail does not),
+//! 2. **exchange phase** — the edge-indexed messages `yᶜ`/`zᶜ` feed the
+//!    next iteration's `othermax` groups, whose members straddle
+//!    partition boundaries, and the transposed `Sᵖ` values cross shards;
+//!    both are modeled as a ring all-gather of the partitioned message
+//!    vectors plus a halo of transposed overlap values.
+//!
+//! The model exposes the classic strong-scaling story: bandwidth-bound
+//! bulk shrinks with `G`, the interconnect term and per-iteration launch
+//! latencies do not, so efficiency decays with `G` and small instances
+//! stop scaling first.
+
+use crate::bp_gpu::model_bp_iteration;
+use crate::device::DeviceSpec;
+use crate::exec::ExecConfig;
+use cualign_graph::BipartiteGraph;
+use cualign_overlap::OverlapMatrix;
+
+/// Interconnect description for the exchange phase.
+#[derive(Clone, Copy, Debug)]
+pub struct Interconnect {
+    /// Per-link bandwidth in GB/s (NVLink 3: ~300 GB/s effective per
+    /// direction on an A100 HGX board).
+    pub link_gbps: f64,
+    /// Per-message latency in seconds (kernel + NCCL ring step overhead).
+    pub step_latency_s: f64,
+}
+
+impl Interconnect {
+    /// NVLink 3 (HGX A100) defaults.
+    pub fn nvlink3() -> Self {
+        Interconnect { link_gbps: 300.0, step_latency_s: 10e-6 }
+    }
+
+    /// PCIe 4.0 x16 fallback.
+    pub fn pcie4() -> Self {
+        Interconnect { link_gbps: 25.0, step_latency_s: 25e-6 }
+    }
+
+    /// Ring all-gather time for `bytes` of payload across `g` devices.
+    pub fn all_gather_s(&self, bytes: u64, g: usize) -> f64 {
+        if g <= 1 {
+            return 0.0;
+        }
+        let steps = (g - 1) as f64;
+        // Each step moves (bytes / g) per device along the ring.
+        steps * (bytes as f64 / g as f64) / (self.link_gbps * 1e9)
+            + steps * self.step_latency_s
+    }
+}
+
+/// One multi-GPU configuration's modeled outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiGpuPoint {
+    /// Device count.
+    pub gpus: usize,
+    /// Seconds per BP iteration (local + exchange).
+    pub iteration_s: f64,
+    /// Local-compute share of the iteration.
+    pub local_s: f64,
+    /// Interconnect share of the iteration.
+    pub exchange_s: f64,
+    /// Speedup vs. the single-GPU iteration.
+    pub speedup: f64,
+    /// Parallel efficiency (`speedup / gpus`).
+    pub efficiency: f64,
+}
+
+/// Models one BP iteration on `gpus` devices.
+///
+/// The local phase is the single-device iteration scaled by an even row
+/// partition (bulk terms ∝ 1/G, tail unchanged); the exchange phase
+/// all-gathers the two edge-message vectors and the halo of transposed
+/// `Sᵖ` values (bounded by the nonzeros whose mirror lives off-shard,
+/// estimated at `(G-1)/G` of the total).
+pub fn model_multi_gpu_iteration(
+    l: &BipartiteGraph,
+    s: &OverlapMatrix,
+    device: &DeviceSpec,
+    interconnect: &Interconnect,
+    exec: &ExecConfig,
+    gpus: usize,
+) -> MultiGpuPoint {
+    assert!(gpus >= 1, "need at least one device");
+    let (kernels, single_s) = model_bp_iteration(l, s, true, device, exec);
+    // Split bulk and tail: the tail (critical path) is the max over items,
+    // which partitioning does not shrink.
+    let tail: f64 = kernels
+        .iter()
+        .flat_map(|(_, st)| st.bins.iter().map(|b| b.critical_path_s))
+        .fold(0.0, f64::max);
+    let launch: f64 = kernels.len() as f64 * device.launch_overhead_s;
+    let bulk = (single_s - tail - launch).max(0.0);
+
+    let local_s = bulk / gpus as f64 + tail + launch;
+    // Exchange: yᶜ and zᶜ (f64 per edge of L, gathered fully) plus the
+    // off-shard share of Sᵖ mirror values.
+    let message_bytes = 2 * (l.num_edges() as u64) * 8;
+    let halo_bytes = ((s.nnz() as u64) * 8) * (gpus as u64 - 1) / (gpus as u64).max(1);
+    let exchange_s = interconnect.all_gather_s(message_bytes + halo_bytes, gpus);
+
+    let iteration_s = local_s + exchange_s;
+    let speedup = single_s / iteration_s;
+    MultiGpuPoint {
+        gpus,
+        iteration_s,
+        local_s,
+        exchange_s,
+        speedup,
+        efficiency: speedup / gpus as f64,
+    }
+}
+
+/// Sweeps device counts, returning one point per entry of `gpu_counts`.
+pub fn strong_scaling_sweep(
+    l: &BipartiteGraph,
+    s: &OverlapMatrix,
+    device: &DeviceSpec,
+    interconnect: &Interconnect,
+    exec: &ExecConfig,
+    gpu_counts: &[usize],
+) -> Vec<MultiGpuPoint> {
+    gpu_counts
+        .iter()
+        .map(|&g| model_multi_gpu_iteration(l, s, device, interconnect, exec, g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::generators::erdos_renyi_gnm;
+    use cualign_graph::{Permutation, VertexId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(n: usize, decoys: usize, seed: u64) -> (BipartiteGraph, OverlapMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = erdos_renyi_gnm(n, n * 3, &mut rng);
+        let p = Permutation::random(n, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let mut triples = Vec::new();
+        for i in 0..n as VertexId {
+            triples.push((i, p.apply(i), 0.5));
+            for _ in 0..decoys {
+                triples.push((i, rng.gen_range(0..n as VertexId), 0.5));
+            }
+        }
+        let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        (l, s)
+    }
+
+    #[test]
+    fn single_gpu_is_identity() {
+        let (l, s) = instance(400, 6, 1);
+        let p = model_multi_gpu_iteration(
+            &l,
+            &s,
+            &DeviceSpec::a100(),
+            &Interconnect::nvlink3(),
+            &ExecConfig::optimized(),
+            1,
+        );
+        assert!((p.speedup - 1.0).abs() < 1e-9);
+        assert_eq!(p.exchange_s, 0.0);
+    }
+
+    #[test]
+    fn speedup_bounded_by_device_count() {
+        let (l, s) = instance(2000, 9, 2);
+        for g in [2, 4, 8] {
+            let p = model_multi_gpu_iteration(
+                &l,
+                &s,
+                &DeviceSpec::a100(),
+                &Interconnect::nvlink3(),
+                &ExecConfig::optimized(),
+                g,
+            );
+            assert!(p.speedup <= g as f64 + 1e-9, "superlinear at {g}");
+            assert!(p.efficiency <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn efficiency_decays_with_devices() {
+        let (l, s) = instance(2000, 9, 3);
+        let sweep = strong_scaling_sweep(
+            &l,
+            &s,
+            &DeviceSpec::a100(),
+            &Interconnect::nvlink3(),
+            &ExecConfig::optimized(),
+            &[1, 2, 4, 8],
+        );
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].efficiency <= w[0].efficiency + 1e-9,
+                "efficiency rose from {} to {}",
+                w[0].efficiency,
+                w[1].efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn slow_interconnect_hurts() {
+        let (l, s) = instance(1500, 9, 4);
+        let fast = model_multi_gpu_iteration(
+            &l,
+            &s,
+            &DeviceSpec::a100(),
+            &Interconnect::nvlink3(),
+            &ExecConfig::optimized(),
+            4,
+        );
+        let slow = model_multi_gpu_iteration(
+            &l,
+            &s,
+            &DeviceSpec::a100(),
+            &Interconnect::pcie4(),
+            &ExecConfig::optimized(),
+            4,
+        );
+        assert!(slow.iteration_s > fast.iteration_s);
+        assert!(slow.speedup < fast.speedup);
+    }
+
+    #[test]
+    fn small_instances_stop_scaling_first() {
+        let (ls, ss) = instance(200, 5, 5);
+        let (ll, sl) = instance(3000, 9, 6);
+        let g = 8;
+        let small = model_multi_gpu_iteration(
+            &ls,
+            &ss,
+            &DeviceSpec::a100(),
+            &Interconnect::nvlink3(),
+            &ExecConfig::optimized(),
+            g,
+        );
+        let large = model_multi_gpu_iteration(
+            &ll,
+            &sl,
+            &DeviceSpec::a100(),
+            &Interconnect::nvlink3(),
+            &ExecConfig::optimized(),
+            g,
+        );
+        assert!(
+            large.efficiency > small.efficiency,
+            "large {} should out-scale small {}",
+            large.efficiency,
+            small.efficiency
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-device speedup reports — the shape of the paper's Table 2.
+
+use crate::bp_gpu::model_bp_phase;
+use crate::device::DeviceSpec;
+use crate::exec::ExecConfig;
+use crate::match_gpu::{model_matching_time, simulate_matching};
+use cualign_bp::BpConfig;
+use cualign_graph::BipartiteGraph;
+use cualign_overlap::OverlapMatrix;
+
+/// Modeled phase times on one device.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseTimes {
+    /// Belief-propagation phase seconds.
+    pub bp_s: f64,
+    /// Matching phase seconds (one rounding per BP iteration, two matcher
+    /// invocations each — Algorithm 2 lines 17–20).
+    pub match_s: f64,
+}
+
+impl PhaseTimes {
+    /// Total optimization-phase seconds.
+    pub fn total_s(&self) -> f64 {
+        self.bp_s + self.match_s
+    }
+}
+
+/// A Table-2 row: CPU vs GPU times and the resulting speedups.
+#[derive(Clone, Debug)]
+pub struct SpeedupReport {
+    /// CPU-model phase times.
+    pub cpu: PhaseTimes,
+    /// GPU-model phase times.
+    pub gpu: PhaseTimes,
+}
+
+impl SpeedupReport {
+    /// BP speedup (CPU / GPU).
+    pub fn bp_speedup(&self) -> f64 {
+        self.cpu.bp_s / self.gpu.bp_s
+    }
+
+    /// Matching speedup.
+    pub fn match_speedup(&self) -> f64 {
+        self.cpu.match_s / self.gpu.match_s
+    }
+
+    /// Total optimization-phase speedup.
+    pub fn total_speedup(&self) -> f64 {
+        self.cpu.total_s() / self.gpu.total_s()
+    }
+}
+
+/// Builds the Table-2 comparison for one instance: models the BP phase and
+/// the per-iteration matching phase on both device descriptions.
+///
+/// The matching behavior (rounds, recomputation volume) is measured once
+/// from the reference parallel matcher on the *similarity* weights; the
+/// per-iteration roundings during BP run over message weights with very
+/// similar structure, so the same statistics are charged for each of the
+/// `2 × max_iters` matcher invocations.
+pub fn table2_row(
+    l: &BipartiteGraph,
+    s: &OverlapMatrix,
+    cfg: &BpConfig,
+    exec: &ExecConfig,
+) -> SpeedupReport {
+    let gpu_dev = DeviceSpec::a100();
+    let cpu_dev = DeviceSpec::epyc7702p();
+    // CPU baseline runs without SIMT-specific tricks; its exec config only
+    // affects binning bookkeeping, which is a no-op at warp width 1.
+    let cpu_exec = ExecConfig { binning: false, virtual_warps: false, streams: false };
+
+    let gpu_bp = model_bp_phase(l, s, cfg, &gpu_dev, exec);
+    let cpu_bp = model_bp_phase(l, s, cfg, &cpu_dev, &cpu_exec);
+
+    let (_, stats, gpu_match_once) = simulate_matching(l, &gpu_dev, exec);
+    let cpu_match_once = model_matching_time(l, &stats, &cpu_dev, &cpu_exec);
+    let invocations = (2 * cfg.max_iters) as f64;
+
+    SpeedupReport {
+        cpu: PhaseTimes {
+            bp_s: cpu_bp.seconds,
+            match_s: cpu_match_once.seconds * invocations,
+        },
+        gpu: PhaseTimes {
+            bp_s: gpu_bp.seconds,
+            match_s: gpu_match_once.seconds * invocations,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::generators::erdos_renyi_gnm;
+    use cualign_graph::{Permutation, VertexId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(n: usize, seed: u64) -> (BipartiteGraph, OverlapMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = erdos_renyi_gnm(n, n * 3, &mut rng);
+        let p = Permutation::random(n, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let mut triples = Vec::new();
+        for i in 0..n as VertexId {
+            triples.push((i, p.apply(i), 0.5));
+            for _ in 0..9 {
+                triples.push((i, rng.gen_range(0..n as VertexId), 0.5));
+            }
+        }
+        let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        (l, s)
+    }
+
+    #[test]
+    fn table2_shape_bp_beats_match_speedup() {
+        let (l, s) = instance(6000, 1);
+        let row = table2_row(&l, &s, &BpConfig::default(), &ExecConfig::optimized());
+        assert!(row.bp_speedup() > 1.0, "BP speedup {}", row.bp_speedup());
+        assert!(row.match_speedup() > 1.0, "match speedup {}", row.match_speedup());
+        assert!(
+            row.bp_speedup() > row.match_speedup(),
+            "paper shape violated: BP {} ≤ match {}",
+            row.bp_speedup(),
+            row.match_speedup()
+        );
+        // Total lies between the two phase speedups.
+        let t = row.total_speedup();
+        assert!(t >= row.match_speedup().min(row.bp_speedup()) - 1e-9);
+        assert!(t <= row.bp_speedup().max(row.match_speedup()) + 1e-9);
+    }
+
+    #[test]
+    fn speedups_in_paper_regime() {
+        let (l, s) = instance(8000, 2);
+        let row = table2_row(&l, &s, &BpConfig::default(), &ExecConfig::optimized());
+        assert!(
+            row.bp_speedup() > 2.0 && row.bp_speedup() < 30.0,
+            "BP speedup {} outside regime",
+            row.bp_speedup()
+        );
+        assert!(
+            row.match_speedup() < 10.0,
+            "match speedup {} implausibly high",
+            row.match_speedup()
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! Synthetic graph generators.
+//!
+//! The paper's evaluation (§6.1, Table 1) uses three protein–protein
+//! interaction (PPI) networks and two synthetic graphs. Since the biological
+//! data files are not redistributable here, DESIGN.md §2 substitutes
+//! generative models with matched vertex/edge counts:
+//!
+//! * [`duplication_divergence`] — the standard generative model of PPI
+//!   topology (heavy-tailed degrees, high local clustering), used for the
+//!   `fly_*`/`human_*` stand-ins;
+//! * [`powerlaw_configuration`] — the "Synthetic_4000/8000" stand-ins;
+//! * [`erdos_renyi_gnm`], [`barabasi_albert`], [`watts_strogatz`] — further
+//!   models used in tests, examples, and ablation benches.
+//!
+//! All generators are deterministic given the seeded RNG passed in.
+
+use crate::{CsrGraph, VertexId};
+use rand::distributions::{Distribution, Uniform};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges drawn uniformly from
+/// all vertex pairs.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of available pairs `n(n-1)/2`.
+pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "G(n={n}, m={m}) infeasible: max m = {max_m}");
+    let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m * 2);
+    let dist = Uniform::new(0, n as VertexId);
+    while chosen.len() < m {
+        let u = dist.sample(rng);
+        let v = dist.sample(rng);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        chosen.insert(key);
+    }
+    let edges: Vec<(VertexId, VertexId)> = chosen.into_iter().collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `k` existing vertices with probability
+/// proportional to degree. Produces power-law degree tails.
+pub fn barabasi_albert<R: Rng>(n: usize, k: usize, rng: &mut R) -> CsrGraph {
+    assert!(k >= 1, "attachment count must be positive");
+    assert!(n > k, "need more vertices than the attachment count");
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    // Seed clique on the first k+1 vertices.
+    for u in 0..=(k as VertexId) {
+        for v in (u + 1)..=(k as VertexId) {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (k + 1)..n {
+        let u = u as VertexId;
+        let mut picked: HashSet<VertexId> = HashSet::with_capacity(k);
+        while picked.len() < k {
+            let &v = endpoints
+                .as_slice()
+                .choose(rng)
+                .expect("endpoint pool never empty after seeding");
+            if v != u {
+                picked.insert(v);
+            }
+        }
+        // Drain in sorted order: HashSet iteration order is randomized per
+        // process, and the endpoint pool feeds later degree-proportional
+        // draws — unsorted drainage would make the generator
+        // nondeterministic across runs even under a fixed seed.
+        let mut picked: Vec<VertexId> = picked.into_iter().collect();
+        picked.sort_unstable();
+        for v in picked {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Power-law configuration model: samples a degree sequence `deg(u) ∝ u^{-1/(γ-1)}`
+/// scaled so the expected edge total is close to `target_edges`, then wires
+/// stubs uniformly at random (discarding self loops/multi-edges).
+///
+/// The realized edge count lands slightly below `target_edges` because of
+/// discarded collisions; [`with_edge_budget`] compensates when an exact
+/// count matters.
+pub fn powerlaw_configuration<R: Rng>(
+    n: usize,
+    target_edges: usize,
+    gamma: f64,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(n >= 2);
+    // Raw weights w_i = (i+1)^{-1/(gamma-1)}; scale to hit 2*target stubs.
+    let exponent = -1.0 / (gamma - 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let scale = (2 * target_edges) as f64 / wsum;
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(2 * target_edges + n);
+    for (i, w) in weights.iter().enumerate() {
+        let expected = w * scale;
+        let mut count = expected.floor() as usize;
+        if rng.gen::<f64>() < expected - count as f64 {
+            count += 1;
+        }
+        // Keep every vertex attached at least once so the graph has no
+        // isolated dust that would distort the degree distribution shape.
+        count = count.max(1);
+        stubs.extend(std::iter::repeat(i as VertexId).take(count));
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    stubs.shuffle(rng);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(stubs.len() / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            edges.push((pair[0], pair[1]));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small world: a ring lattice where each vertex connects to
+/// its `k` nearest neighbors (k even), with each edge rewired with
+/// probability `p`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!(k % 2 == 0 && k >= 2, "lattice degree must be even and ≥ 2");
+    assert!(n > k, "need n > k");
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
+    let dist = Uniform::new(0, n as VertexId);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            let (mut a, mut b) = (u as VertexId, v as VertexId);
+            if rng.gen::<f64>() < p {
+                // Rewire: keep u, pick a random new endpoint.
+                let mut w = dist.sample(rng);
+                let mut guard = 0;
+                while w == a && guard < 32 {
+                    w = dist.sample(rng);
+                    guard += 1;
+                }
+                b = w;
+            }
+            if a != b {
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                edges.push((a, b));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Duplication–divergence model (Vázquez et al.) — the standard generative
+/// model for protein interaction networks. Each step duplicates a random
+/// existing vertex, keeps each inherited edge with probability `retain`,
+/// and adds an edge to the progenitor with probability `anchor`.
+///
+/// Produces the heavy-tailed, locally clustered topology characteristic of
+/// the paper's fly/human PPI inputs.
+pub fn duplication_divergence<R: Rng>(
+    n: usize,
+    retain: f64,
+    anchor: f64,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&retain) && (0.0..=1.0).contains(&anchor));
+    // Grow an adjacency-list representation, then finalize as CSR.
+    let mut adj: Vec<Vec<VertexId>> = vec![vec![1], vec![0]];
+    for u in 2..n {
+        let u = u as VertexId;
+        let progenitor = rng.gen_range(0..u);
+        let inherited: Vec<VertexId> = adj[progenitor as usize]
+            .iter()
+            .copied()
+            .filter(|_| rng.gen::<f64>() < retain)
+            .collect();
+        let mut mine: Vec<VertexId> = Vec::with_capacity(inherited.len() + 1);
+        for v in inherited {
+            adj[v as usize].push(u);
+            mine.push(v);
+        }
+        if rng.gen::<f64>() < anchor {
+            adj[progenitor as usize].push(u);
+            mine.push(progenitor);
+        }
+        if mine.is_empty() {
+            // Never strand a protein: attach to the progenitor so the
+            // network stays connected enough to embed meaningfully.
+            adj[progenitor as usize].push(u);
+            mine.push(progenitor);
+        }
+        adj.push(mine);
+    }
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            if (u as VertexId) < v {
+                edges.push((u as VertexId, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Adjusts a generated graph to an exact edge budget: removes random edges
+/// if over budget, adds random non-edges if under. Used to match Table 1's
+/// listed edge counts exactly.
+pub fn with_edge_budget<R: Rng>(g: &CsrGraph, target_edges: usize, rng: &mut R) -> CsrGraph {
+    let n = g.num_vertices();
+    let mut edges = g.edge_list();
+    if edges.len() > target_edges {
+        edges.shuffle(rng);
+        edges.truncate(target_edges);
+    } else if edges.len() < target_edges {
+        let have: HashSet<(VertexId, VertexId)> = edges.iter().copied().collect();
+        let mut extra: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let dist = Uniform::new(0, n as VertexId);
+        let needed = target_edges - edges.len();
+        let max_m = n * (n - 1) / 2;
+        assert!(target_edges <= max_m, "edge budget exceeds complete graph");
+        while extra.len() < needed {
+            let u = dist.sample(rng);
+            let v = dist.sample(rng);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if !have.contains(&key) {
+                extra.insert(key);
+            }
+        }
+        edges.extend(extra);
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(100, 250, &mut rng);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gnm_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(10, 45, &mut rng);
+        assert_eq!(g.num_edges(), 45);
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn gnm_rejects_overfull() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = erdos_renyi_gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn ba_grows_hubs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(500, 3, &mut rng);
+        assert_eq!(g.num_vertices(), 500);
+        g.check_invariants().unwrap();
+        // Preferential attachment must create a hub much larger than the
+        // attachment count.
+        assert!(g.max_degree() > 15, "max degree {} too small", g.max_degree());
+        // Every non-seed vertex attached with k distinct edges.
+        assert!(g.num_edges() >= (500 - 4) * 3);
+    }
+
+    #[test]
+    fn powerlaw_degree_sequence_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = powerlaw_configuration(1000, 3000, 2.5, &mut rng);
+        g.check_invariants().unwrap();
+        let n = g.num_vertices();
+        assert_eq!(n, 1000);
+        // Edge count should land within 15% of target (collisions discard a few).
+        let m = g.num_edges() as f64;
+        assert!(m > 3000.0 * 0.8 && m < 3000.0 * 1.2, "m = {m}");
+        // Heavy tail: max degree far above average.
+        assert!(g.max_degree() as f64 > 4.0 * g.average_degree());
+    }
+
+    #[test]
+    fn watts_strogatz_ring() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // p = 0 keeps the pure lattice.
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+        for u in 0..20 {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_stays_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = watts_strogatz(200, 6, 0.3, &mut rng);
+        g.check_invariants().unwrap();
+        assert!(g.num_edges() > 500);
+    }
+
+    #[test]
+    fn duplication_divergence_ppi_shape() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = duplication_divergence(1000, 0.4, 0.3, &mut rng);
+        g.check_invariants().unwrap();
+        assert_eq!(g.num_vertices(), 1000);
+        // No isolated vertices by construction.
+        for u in 0..1000 {
+            assert!(g.degree(u) >= 1, "vertex {u} isolated");
+        }
+        // Heavy-tailed: hubs well above the mean.
+        assert!(g.max_degree() as f64 > 5.0 * g.average_degree());
+    }
+
+    #[test]
+    fn edge_budget_trims_and_pads() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = erdos_renyi_gnm(100, 300, &mut rng);
+        let trimmed = with_edge_budget(&g, 200, &mut rng);
+        assert_eq!(trimmed.num_edges(), 200);
+        trimmed.check_invariants().unwrap();
+        let padded = with_edge_budget(&g, 400, &mut rng);
+        assert_eq!(padded.num_edges(), 400);
+        padded.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = duplication_divergence(300, 0.4, 0.3, &mut StdRng::seed_from_u64(42));
+        let g2 = duplication_divergence(300, 0.4, 0.3, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+        let h1 = powerlaw_configuration(300, 900, 2.5, &mut StdRng::seed_from_u64(43));
+        let h2 = powerlaw_configuration(300, 900, 2.5, &mut StdRng::seed_from_u64(43));
+        assert_eq!(h1, h2);
+        // BA drains a HashSet internally; determinism requires the sorted
+        // drainage (process-level hash randomization would otherwise leak
+        // into the endpoint pool).
+        let b1 = barabasi_albert(300, 3, &mut StdRng::seed_from_u64(44));
+        let b2 = barabasi_albert(300, 3, &mut StdRng::seed_from_u64(44));
+        assert_eq!(b1, b2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Vertex permutations and the self-alignment protocol.
+//!
+//! The paper evaluates alignment quality by taking an input graph `A`,
+//! drawing a uniform random permutation `P`, and setting `B = P(A)` — so `P`
+//! is the ground-truth alignment against which computed matchings are
+//! scored (§6.1).
+
+use crate::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bijection on `{0, …, n-1}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            forward: (0..n as VertexId).collect(),
+        }
+    }
+
+    /// A uniformly random permutation on `n` elements.
+    pub fn random<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let mut forward: Vec<VertexId> = (0..n as VertexId).collect();
+        forward.shuffle(rng);
+        Permutation { forward }
+    }
+
+    /// Builds from an explicit image vector: `map[i]` is the image of `i`.
+    ///
+    /// # Panics
+    /// Panics if `map` is not a bijection on `{0, …, map.len()-1}`.
+    pub fn from_vec(map: Vec<VertexId>) -> Self {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &x in &map {
+            assert!((x as usize) < n, "image {x} out of range");
+            assert!(!seen[x as usize], "image {x} repeated — not a bijection");
+            seen[x as usize] = true;
+        }
+        Permutation { forward: map }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation is on the empty set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Image of `i`.
+    #[inline]
+    pub fn apply(&self, i: VertexId) -> VertexId {
+        self.forward[i as usize]
+    }
+
+    /// Image vector.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.forward
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0 as VertexId; self.forward.len()];
+        for (i, &x) in self.forward.iter().enumerate() {
+            inv[x as usize] = i as VertexId;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Composition `self ∘ other`: first applies `other`, then `self`.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "size mismatch in composition");
+        Permutation {
+            forward: other.forward.iter().map(|&x| self.apply(x)).collect(),
+        }
+    }
+
+    /// Relabels every vertex of `g` through this permutation:
+    /// edge `{u, v}` becomes `{P(u), P(v)}`.
+    pub fn apply_to_graph(&self, g: &CsrGraph) -> CsrGraph {
+        assert_eq!(self.len(), g.num_vertices(), "permutation/graph size mismatch");
+        let edges: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .map(|(u, v)| (self.apply(u), self.apply(v)))
+            .collect();
+        CsrGraph::from_edges(g.num_vertices(), &edges)
+    }
+}
+
+/// A ground-truthed alignment instance: graph `A`, graph `B = P(A)`, and the
+/// true mapping `P` from `V_A` to `V_B`.
+#[derive(Clone, Debug)]
+pub struct AlignmentInstance {
+    /// First input network.
+    pub a: CsrGraph,
+    /// Second input network, an isomorphic relabeling of `a` (possibly
+    /// perturbed afterwards by [`crate::noise`]).
+    pub b: CsrGraph,
+    /// Ground truth: vertex `i` of `a` corresponds to `truth.apply(i)` of `b`.
+    pub truth: Permutation,
+}
+
+impl AlignmentInstance {
+    /// Builds the paper's protocol instance: `B = P(A)` for random `P`.
+    pub fn permuted_pair<R: Rng>(a: CsrGraph, rng: &mut R) -> Self {
+        let truth = Permutation::random(a.num_vertices(), rng);
+        let b = truth.apply_to_graph(&a);
+        AlignmentInstance { a, b, truth }
+    }
+
+    /// Fraction of vertices whose computed image matches the ground truth.
+    /// `mate[i]` is the computed image of A-vertex `i` (`None` = unmatched).
+    pub fn node_correctness(&self, mate: &[Option<VertexId>]) -> f64 {
+        assert_eq!(mate.len(), self.truth.len());
+        if mate.is_empty() {
+            return 0.0;
+        }
+        let correct = mate
+            .iter()
+            .enumerate()
+            .filter(|&(i, m)| *m == Some(self.truth.apply(i as VertexId)))
+            .count();
+        correct as f64 / mate.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_fixes_everything() {
+        let p = Permutation::identity(4);
+        for i in 0..4 {
+            assert_eq!(p.apply(i), i);
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Permutation::random(50, &mut rng);
+        let id = p.compose(&p.inverse());
+        assert_eq!(id, Permutation::identity(50));
+        let id2 = p.inverse().compose(&p);
+        assert_eq!(id2, Permutation::identity(50));
+    }
+
+    #[test]
+    fn permuted_graph_is_isomorphic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let p = Permutation::random(5, &mut rng);
+        let h = p.apply_to_graph(&g);
+        assert_eq!(g.num_edges(), h.num_edges());
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(p.apply(u), p.apply(v)));
+        }
+        // Degrees are preserved under relabeling.
+        for u in 0..5 {
+            assert_eq!(g.degree(u), h.degree(p.apply(u)));
+        }
+    }
+
+    #[test]
+    fn instance_node_correctness() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let inst = AlignmentInstance::permuted_pair(g, &mut rng);
+        let perfect: Vec<Option<VertexId>> =
+            (0..4).map(|i| Some(inst.truth.apply(i))).collect();
+        assert!((inst.node_correctness(&perfect) - 1.0).abs() < 1e-12);
+        let none: Vec<Option<VertexId>> = vec![None; 4];
+        assert_eq!(inst.node_correctness(&none), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn from_vec_rejects_repeats() {
+        let _ = Permutation::from_vec(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn random_permutation_is_bijection() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = Permutation::random(200, &mut rng);
+        let mut seen = vec![false; 200];
+        for i in 0..200 {
+            let x = p.apply(i) as usize;
+            assert!(!seen[x]);
+            seen[x] = true;
+        }
+    }
+}

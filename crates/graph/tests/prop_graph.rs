@@ -1,0 +1,155 @@
+//! Property-based tests for the graph substrate: structural invariants
+//! that must hold for *every* edge list, permutation, and generator
+//! parameterization, not just hand-picked fixtures.
+
+use cualign_graph::generators::{
+    barabasi_albert, duplication_divergence, erdos_renyi_gnm, powerlaw_configuration,
+    with_edge_budget,
+};
+use cualign_graph::{io, noise, BipartiteGraph, CsrGraph, Permutation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary edge list over `n ≤ 40` vertices.
+fn edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..120);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// Every constructed CSR graph satisfies its invariants, regardless of
+    /// duplicates, self loops, or ordering in the input.
+    #[test]
+    fn csr_invariants_hold((n, edges) in edge_list()) {
+        let g = CsrGraph::from_edges(n, &edges);
+        prop_assert!(g.check_invariants().is_ok());
+        // Edge count is bounded by the distinct non-loop pairs supplied.
+        let mut distinct: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(g.num_edges(), distinct.len());
+    }
+
+    /// from_edges ∘ edge_list is the identity on canonical graphs.
+    #[test]
+    fn csr_edge_list_roundtrip((n, edges) in edge_list()) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let g2 = CsrGraph::from_edges(n, &g.edge_list());
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Edge-list IO round-trips any graph.
+    #[test]
+    fn io_roundtrip((n, edges) in edge_list()) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(buf.as_slice(), n).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Permutations: inverse composes to the identity; relabeling
+    /// preserves the degree multiset and edge count.
+    #[test]
+    fn permutation_properties((n, edges) in edge_list(), seed in 0u64..1000) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let p = Permutation::random(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(p.compose(&p.inverse()), Permutation::identity(n));
+        let h = p.apply_to_graph(&g);
+        prop_assert_eq!(g.num_edges(), h.num_edges());
+        let mut dg: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
+        let mut dh: Vec<usize> = (0..n as u32).map(|u| h.degree(u)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        prop_assert_eq!(dg, dh);
+    }
+
+    /// Generators are deterministic under a fixed seed and satisfy
+    /// invariants across their parameter spaces.
+    #[test]
+    fn generators_valid_and_deterministic(
+        n in 10usize..120,
+        seed in 0u64..500,
+        retain in 0.2f64..0.6,
+    ) {
+        let er = erdos_renyi_gnm(n, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(er.check_invariants().is_ok());
+        prop_assert_eq!(er.num_edges(), n);
+
+        let ba = barabasi_albert(n.max(5), 2, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(ba.check_invariants().is_ok());
+        let ba2 = barabasi_albert(n.max(5), 2, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(ba, ba2);
+
+        let dd = duplication_divergence(n, retain, 0.3, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(dd.check_invariants().is_ok());
+        for u in 0..n as u32 {
+            prop_assert!(dd.degree(u) >= 1, "vertex {} isolated", u);
+        }
+
+        let pl = powerlaw_configuration(n.max(20), 2 * n, 2.5, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(pl.check_invariants().is_ok());
+    }
+
+    /// Edge budgeting hits the requested count exactly whenever feasible.
+    #[test]
+    fn edge_budget_exact(n in 10usize..60, seed in 0u64..200, target_frac in 0.2f64..0.9) {
+        let max_m = n * (n - 1) / 2;
+        let g = erdos_renyi_gnm(n, max_m / 2, &mut StdRng::seed_from_u64(seed));
+        let target = ((max_m as f64) * target_frac) as usize;
+        let h = with_edge_budget(&g, target, &mut StdRng::seed_from_u64(seed + 1));
+        prop_assert_eq!(h.num_edges(), target);
+        prop_assert!(h.check_invariants().is_ok());
+    }
+
+    /// Noise: removal shrinks to the exact count and never invents edges;
+    /// rewiring preserves the count.
+    #[test]
+    fn noise_properties(n in 10usize..60, seed in 0u64..200, frac in 0.0f64..0.9) {
+        let g = erdos_renyi_gnm(n, n, &mut StdRng::seed_from_u64(seed));
+        let removed = noise::remove_edges(&g, frac, &mut StdRng::seed_from_u64(seed + 1));
+        prop_assert!(removed.check_invariants().is_ok());
+        prop_assert_eq!(
+            removed.num_edges(),
+            g.num_edges() - ((g.num_edges() as f64 * frac).floor() as usize)
+        );
+        for (u, v) in removed.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+        let rewired = noise::rewire(&g, frac, &mut StdRng::seed_from_u64(seed + 2));
+        prop_assert_eq!(rewired.num_edges(), g.num_edges());
+    }
+
+    /// Bipartite graphs: dual-CSR consistency for arbitrary weighted
+    /// triples, and weight replacement never disturbs topology.
+    #[test]
+    fn bipartite_invariants(
+        na in 1usize..20,
+        nb in 1usize..20,
+        raw in prop::collection::vec((0u32..20, 0u32..20, 0.0f64..10.0), 0..80),
+    ) {
+        let triples: Vec<(u32, u32, f64)> = raw
+            .into_iter()
+            .filter(|&(a, b, _)| (a as usize) < na && (b as usize) < nb)
+            .collect();
+        let mut l = BipartiteGraph::from_weighted_edges(na, nb, &triples);
+        prop_assert!(l.check_invariants().is_ok());
+        let m = l.num_edges();
+        let new_w = vec![1.0; m];
+        l.set_weights(&new_w);
+        prop_assert!(l.check_invariants().is_ok());
+        prop_assert_eq!(l.num_edges(), m);
+        // Degrees sum to the edge count on both sides.
+        let da: usize = (0..na as u32).map(|a| l.degree_a(a)).sum();
+        let db: usize = (0..nb as u32).map(|b| l.degree_b(b)).sum();
+        prop_assert_eq!(da, m);
+        prop_assert_eq!(db, m);
+    }
+}

@@ -1,0 +1,298 @@
+//! Row-major dense matrices.
+//!
+//! Row-major layout keeps each embedding vector (one row per graph vertex)
+//! contiguous, which is what the cosine-similarity kNN kernel streams over.
+//! Multiplication parallelizes over output rows with rayon.
+
+use rand::Rng;
+use rayon::prelude::*;
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a generator `f(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Standard-normal random matrix (for random projections / range
+    /// finders). Uses Box–Muller to stay independent of rand_distr.
+    pub fn gaussian<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        while data.len() < rows * cols {
+            let u1: f64 = rng.gen::<f64>().max(1e-300);
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            data.push(r * (2.0 * std::f64::consts::PI * u2).cos());
+            if data.len() < rows * cols {
+                data.push(r * (2.0 * std::f64::consts::PI * u2).sin());
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`, parallel over output rows.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0; m * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        });
+        DenseMatrix { rows: m, cols: n, data: out }
+    }
+
+    /// `selfᵀ · other` without materializing the transpose (`k × m` output
+    /// for `m × k` self and `m × n` other → `k × n`).
+    pub fn transpose_matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, other.rows, "row mismatch in AᵀB");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0; k * n];
+        // Serial accumulation over m, vectorizable inner loops. k and n are
+        // embedding dimensions (small), so this is cheap.
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let brow = &other.data[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        DenseMatrix { rows: k, cols: n, data: out }
+    }
+
+    /// Element-wise scale in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Whether `selfᵀ self ≈ I` within `tol` (columns orthonormal).
+    pub fn is_orthonormal(&self, tol: f64) -> bool {
+        let gram = self.transpose_matmul(self);
+        let eye = DenseMatrix::identity(self.cols);
+        gram.sub(&eye).max_abs() <= tol
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_multiplication() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i3 = DenseMatrix::identity(3);
+        assert_eq!(a.matmul(&i3), a);
+        let i2 = DenseMatrix::identity(2);
+        assert_eq!(i2.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseMatrix::gaussian(4, 7, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = DenseMatrix::gaussian(5, 3, &mut rng);
+        let b = DenseMatrix::gaussian(5, 4, &mut rng);
+        let fast = a.transpose_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.sub(&slow).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = DenseMatrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = DenseMatrix::gaussian(100, 100, &mut rng);
+        let mean: f64 = a.data().iter().sum::<f64>() / 10_000.0;
+        let var: f64 = a.data().iter().map(|x| x * x).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn identity_is_orthonormal() {
+        assert!(DenseMatrix::identity(6).is_orthonormal(1e-14));
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = DenseMatrix::gaussian(6, 6, &mut rng);
+        assert!(!g.is_orthonormal(1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_rejects_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cualign-linalg
+//!
+//! Self-contained dense linear algebra for the cuAlign embedding and
+//! subspace-alignment stages. No external BLAS/LAPACK: everything the
+//! pipeline needs is implemented here —
+//!
+//! * [`DenseMatrix`] — row-major dense matrices with rayon-parallel
+//!   multiplication,
+//! * [`qr`] — Householder QR and orthonormalization (used by the randomized
+//!   range finder and the FastRP-style embedding),
+//! * [`svd`] — one-sided Jacobi SVD (the paper's Eq. 2 solver takes SVDs of
+//!   small `d × d` cross-covariance matrices),
+//! * [`procrustes`] — the orthogonal-Procrustes rotation solver,
+//! * [`sinkhorn`] — entropic optimal transport (the "Sinkhorn optimization"
+//!   of §4.1) for soft correspondences between embeddings,
+//! * [`vecops`] — embedding-vector kernels (dot, cosine similarity, row
+//!   normalization).
+//!
+//! Accuracy targets are those of the alignment pipeline: embeddings are
+//! `d ≤ 256` dimensional, so `d × d` factorizations dominated by Jacobi
+//! sweeps are both fast and accurate to near machine precision.
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod eig;
+pub mod procrustes;
+pub mod qr;
+pub mod sinkhorn;
+pub mod svd;
+pub mod vecops;
+
+pub use dense::DenseMatrix;
+pub use procrustes::orthogonal_procrustes;
+pub use sinkhorn::{sinkhorn, SinkhornOptions, TransportPlan};
+pub use svd::{jacobi_svd, Svd};

@@ -1,0 +1,219 @@
+//! Entropic optimal transport via Sinkhorn–Knopp scaling.
+//!
+//! The subspace-alignment stage (Eq. 2, per Chen et al.'s cone-align) needs
+//! a soft correspondence between the two embeddings: a doubly-(sub)stochastic
+//! plan `T` minimizing `⟨T, C⟩ − ε·H(T)` for a pairwise cost matrix `C`.
+//! Sinkhorn alternates row/column scalings of the Gibbs kernel
+//! `K = exp(−C/ε)`; all updates run in log-space for numerical safety at
+//! small `ε`.
+
+use crate::DenseMatrix;
+use rayon::prelude::*;
+
+/// Sinkhorn solver parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SinkhornOptions {
+    /// Entropic regularization strength `ε` (> 0). Smaller values give
+    /// sharper (more permutation-like) plans but need more iterations.
+    pub epsilon: f64,
+    /// Maximum scaling iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the L1 marginal violation.
+    pub tolerance: f64,
+}
+
+impl Default for SinkhornOptions {
+    fn default() -> Self {
+        SinkhornOptions { epsilon: 0.05, max_iters: 500, tolerance: 1e-6 }
+    }
+}
+
+/// An optimal transport plan between uniform marginals.
+pub struct TransportPlan {
+    /// The `n × m` plan; rows sum to `1/n`, columns to `1/m` at convergence.
+    pub plan: DenseMatrix,
+    /// Iterations actually used.
+    pub iterations: usize,
+    /// Final L1 marginal violation.
+    pub marginal_error: f64,
+}
+
+/// Runs log-domain Sinkhorn on cost matrix `cost` (`n × m`) with uniform
+/// marginals `1/n`, `1/m`.
+///
+/// # Panics
+/// Panics if the cost matrix is empty or `epsilon <= 0`.
+pub fn sinkhorn(cost: &DenseMatrix, opts: &SinkhornOptions) -> TransportPlan {
+    let (n, m) = (cost.rows(), cost.cols());
+    assert!(n > 0 && m > 0, "empty cost matrix");
+    assert!(opts.epsilon > 0.0, "epsilon must be positive");
+    let eps = opts.epsilon;
+    let log_mu = -(n as f64).ln(); // log(1/n)
+    let log_nu = -(m as f64).ln(); // log(1/m)
+
+    // Dual potentials f (rows) and g (cols), in units of cost.
+    let mut f = vec![0.0; n];
+    let mut g = vec![0.0; m];
+
+    // logsumexp over a row of (-C(i,·) + f_i + g_·)/eps is what the updates
+    // need; we fold f in afterwards, so define:
+    //   row_lse(i) = log Σ_j exp((g_j − C(i,j)) / eps)
+    let row_lse = |f_unused: &[f64], g: &[f64], i: usize| -> f64 {
+        let _ = f_unused;
+        let crow = cost.row(i);
+        let mut maxv = f64::NEG_INFINITY;
+        for j in 0..m {
+            maxv = maxv.max((g[j] - crow[j]) / eps);
+        }
+        if maxv == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        let sum: f64 = (0..m).map(|j| ((g[j] - crow[j]) / eps - maxv).exp()).sum();
+        maxv + sum.ln()
+    };
+    let col_lse = |f: &[f64], i_col: usize| -> f64 {
+        let mut maxv = f64::NEG_INFINITY;
+        for i in 0..n {
+            maxv = maxv.max((f[i] - cost[(i, i_col)]) / eps);
+        }
+        if maxv == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        let sum: f64 = (0..n)
+            .map(|i| ((f[i] - cost[(i, i_col)]) / eps - maxv).exp())
+            .sum();
+        maxv + sum.ln()
+    };
+
+    let mut iterations = 0;
+    let mut marginal_error = f64::INFINITY;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        // f_i ← ε (log μ_i − row_lse_i)
+        let new_f: Vec<f64> = (0..n)
+            .into_par_iter()
+            .map(|i| eps * (log_mu - row_lse(&f, &g, i)))
+            .collect();
+        f = new_f;
+        // g_j ← ε (log ν_j − col_lse_j)
+        let new_g: Vec<f64> = (0..m)
+            .into_par_iter()
+            .map(|j| eps * (log_nu - col_lse(&f, j)))
+            .collect();
+        g = new_g;
+
+        // Row marginal violation (columns are exact right after their
+        // update). Collected then summed sequentially: a rayon f64 `sum()`
+        // reduces in nondeterministic order, which would make the
+        // convergence cutoff — and thus the whole pipeline — run-to-run
+        // unstable.
+        let errs: Vec<f64> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let lse = row_lse(&f, &g, i) + f[i] / eps;
+                (lse.exp() - log_mu.exp()).abs()
+            })
+            .collect();
+        marginal_error = errs.iter().sum();
+        if marginal_error < opts.tolerance {
+            break;
+        }
+    }
+
+    // Materialize the plan T(i,j) = exp((f_i + g_j − C(i,j))/ε).
+    let mut plan = DenseMatrix::zeros(n, m);
+    plan.data_mut()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(i, row)| {
+            let crow = cost.row(i);
+            for j in 0..m {
+                row[j] = ((f[i] + g[j] - crow[j]) / eps).exp();
+            }
+        });
+
+    TransportPlan { plan, iterations, marginal_error }
+}
+
+impl TransportPlan {
+    /// Hard correspondence: for each row, the column with maximum mass.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.plan.rows())
+            .map(|i| {
+                let row = self.plan.row(i);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("plan entries finite"))
+                    .map(|(j, _)| j)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_cost(n: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(n, n, |_, _| 1.0)
+    }
+
+    #[test]
+    fn uniform_cost_gives_uniform_plan() {
+        let c = uniform_cost(4);
+        let tp = sinkhorn(&c, &SinkhornOptions::default());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((tp.plan[(i, j)] - 1.0 / 16.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_are_satisfied() {
+        let c = DenseMatrix::from_fn(5, 7, |i, j| ((i * 3 + j * 5) % 11) as f64 / 11.0);
+        let tp = sinkhorn(&c, &SinkhornOptions { epsilon: 0.1, max_iters: 2000, tolerance: 1e-10 });
+        for i in 0..5 {
+            let rs: f64 = tp.plan.row(i).iter().sum();
+            assert!((rs - 0.2).abs() < 1e-6, "row {i} sums to {rs}");
+        }
+        for j in 0..7 {
+            let cs: f64 = (0..5).map(|i| tp.plan[(i, j)]).sum();
+            assert!((cs - 1.0 / 7.0).abs() < 1e-6, "col {j} sums to {cs}");
+        }
+    }
+
+    #[test]
+    fn sharp_epsilon_recovers_permutation() {
+        // Cost is a permuted identity-ish matrix: zero cost on the planted
+        // permutation, high elsewhere.
+        let perm = [2usize, 0, 3, 1];
+        let c = DenseMatrix::from_fn(4, 4, |i, j| if perm[i] == j { 0.0 } else { 1.0 });
+        let tp = sinkhorn(&c, &SinkhornOptions { epsilon: 0.02, max_iters: 3000, tolerance: 1e-9 });
+        assert_eq!(tp.argmax_rows(), perm.to_vec());
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let c = uniform_cost(3);
+        let tp = sinkhorn(&c, &SinkhornOptions::default());
+        assert!(tp.iterations <= 500);
+        assert!(tp.marginal_error < 1e-5);
+    }
+
+    #[test]
+    fn rectangular_plan_mass_is_one() {
+        let c = DenseMatrix::from_fn(3, 8, |i, j| (i as f64 - j as f64).abs());
+        let tp = sinkhorn(&c, &SinkhornOptions::default());
+        let total: f64 = tp.plan.data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "total mass {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_nonpositive_epsilon() {
+        let c = uniform_cost(2);
+        let _ = sinkhorn(&c, &SinkhornOptions { epsilon: 0.0, max_iters: 10, tolerance: 1e-6 });
+    }
+}

@@ -1,0 +1,109 @@
+//! Embedding-vector kernels: dot products, norms, cosine similarity, row
+//! normalization. These are the innermost loops of the kNN sparsification
+//! stage, so they are written to auto-vectorize (plain indexed loops over
+//! contiguous slices).
+
+use crate::DenseMatrix;
+use rayon::prelude::*;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 if either vector is zero.
+#[inline]
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Normalizes every row of `m` to unit Euclidean norm in place (zero rows
+/// stay zero). After this, cosine similarity between rows is a plain dot
+/// product — the kNN kernel relies on it.
+pub fn normalize_rows(m: &mut DenseMatrix) {
+    let cols = m.cols();
+    m.data_mut().par_chunks_mut(cols).for_each(|row| {
+        let n = norm(row);
+        if n > 0.0 {
+            for x in row {
+                *x /= n;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_bounds_and_cases() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [0.3, -0.7, 2.0];
+        let b = [1.1, 0.4, -0.2];
+        let scaled: Vec<f64> = a.iter().map(|x| x * 17.0).collect();
+        assert!((cosine_similarity(&a, &b) - cosine_similarity(&scaled, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_known() {
+        assert!((euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_rows_makes_unit() {
+        let mut m = DenseMatrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        normalize_rows(&mut m);
+        assert!((norm(m.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+        // Direction preserved.
+        assert!((m[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((m[(0, 1)] - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the linear algebra kernels: factorization
+//! identities on random matrices of random shapes.
+
+use cualign_linalg::eig::symmetric_eigen;
+use cualign_linalg::qr::householder_qr;
+use cualign_linalg::sinkhorn::{sinkhorn, SinkhornOptions};
+use cualign_linalg::svd::jacobi_svd;
+use cualign_linalg::{orthogonal_procrustes, vecops, DenseMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gaussian(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::gaussian(rows, cols, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QR: reconstruction, orthonormal Q, upper-triangular R — any shape
+    /// with rows ≥ cols.
+    #[test]
+    fn qr_identities(rows in 1usize..25, extra in 0usize..15, seed in 0u64..10_000) {
+        let cols = rows.min(rows.saturating_sub(extra).max(1));
+        let a = gaussian(rows, cols, seed);
+        let qr = householder_qr(&a);
+        prop_assert!(qr.q.matmul(&qr.r).sub(&a).max_abs() < 1e-9);
+        prop_assert!(qr.q.is_orthonormal(1e-9));
+        for i in 0..cols {
+            for j in 0..i {
+                prop_assert_eq!(qr.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    /// SVD: reconstruction, orthonormal factors, sorted non-negative
+    /// spectrum.
+    #[test]
+    fn svd_identities(rows in 1usize..20, extra in 0usize..12, seed in 0u64..10_000) {
+        let cols = (rows.saturating_sub(extra)).max(1);
+        let a = gaussian(rows, cols, seed);
+        let svd = jacobi_svd(&a);
+        prop_assert!(svd.reconstruct().sub(&a).max_abs() < 1e-8);
+        prop_assert!(svd.u.is_orthonormal(1e-8));
+        prop_assert!(svd.v.is_orthonormal(1e-8));
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+        prop_assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    /// Symmetric eigendecomposition: M·V = V·Λ and trace preservation.
+    #[test]
+    fn eig_identities(n in 1usize..15, seed in 0u64..10_000) {
+        let g = gaussian(n, n, seed);
+        let m = DenseMatrix::from_fn(n, n, |i, j| 0.5 * (g[(i, j)] + g[(j, i)]));
+        let e = symmetric_eigen(&m);
+        prop_assert!(e.vectors.is_orthonormal(1e-8));
+        let mv = m.matmul(&e.vectors);
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!((mv[(i, j)] - e.values[j] * e.vectors[(i, j)]).abs() < 1e-8);
+            }
+        }
+        let trace: f64 = (0..n).map(|i| m[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+    }
+
+    /// Procrustes returns an orthogonal matrix and exactly recovers a
+    /// planted rotation.
+    #[test]
+    fn procrustes_identities(m in 6usize..30, d in 2usize..6, seed in 0u64..10_000) {
+        let x = gaussian(m, d, seed);
+        let q_raw = gaussian(d, d, seed + 1);
+        let q_true = cualign_linalg::qr::orthonormalize(&q_raw);
+        let y = x.matmul(&q_true);
+        let q = orthogonal_procrustes(&x, &y);
+        prop_assert!(q.is_orthonormal(1e-8));
+        prop_assert!(x.matmul(&q).sub(&y).max_abs() < 1e-7);
+    }
+
+    /// Sinkhorn: total mass 1, non-negative entries, marginal violations
+    /// below tolerance after convergence.
+    #[test]
+    fn sinkhorn_is_a_transport_plan(
+        n in 1usize..8,
+        m in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let cost = DenseMatrix::from_fn(n, m, |i, j| {
+            // Deterministic pseudo-random non-negative costs.
+            let h = (i * 31 + j * 17 + seed as usize) % 101;
+            h as f64 / 25.0
+        });
+        // Note the generous tolerances: Sinkhorn's contraction factor
+        // degrades as exp(-cost_range/ε), so for adversarial cost matrices
+        // the marginals converge slowly — the property is approximate
+        // feasibility, not exactness.
+        let tp = sinkhorn(&cost, &SinkhornOptions { epsilon: 0.4, max_iters: 5000, tolerance: 1e-9 });
+        prop_assert!(tp.plan.data().iter().all(|&x| x >= 0.0));
+        let total: f64 = tp.plan.data().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-3, "mass {}", total);
+        for i in 0..n {
+            let rs: f64 = tp.plan.row(i).iter().sum();
+            prop_assert!(
+                (rs - 1.0 / n as f64).abs() < 2e-3,
+                "row {} sums to {}",
+                i,
+                rs
+            );
+        }
+    }
+
+    /// Cosine similarity is bounded, symmetric, and scale-invariant.
+    #[test]
+    fn cosine_properties(
+        a in prop::collection::vec(-5.0f64..5.0, 1..12),
+        scale in 0.1f64..10.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let c = vecops::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        prop_assert!((c - vecops::cosine_similarity(&b, &a)).abs() < 1e-12);
+        let scaled: Vec<f64> = a.iter().map(|x| x * scale).collect();
+        prop_assert!((c - vecops::cosine_similarity(&scaled, &b)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Globally-sorted greedy matching — the classical ½-approximation.
+//!
+//! Sort all positive edges by the crate preference order and sweep,
+//! committing every edge whose endpoints are still free. With a strict
+//! total preference order this produces exactly the same matching as the
+//! locally dominant algorithm (both always commit the heaviest remaining
+//! eligible edge), which makes it a useful differential-testing partner for
+//! the worklist and parallel implementations.
+
+use crate::matching::Matching;
+use cualign_graph::{BipartiteGraph, EdgeId};
+
+/// Computes the greedy matching of `l` over strictly positive edges.
+pub fn greedy_matching(l: &BipartiteGraph) -> Matching {
+    let mut order: Vec<EdgeId> = (0..l.num_edges() as EdgeId)
+        .filter(|&e| l.weights()[e as usize] > 0.0)
+        .collect();
+    // Preference order: weight descending, id ascending. total_cmp keeps
+    // the sort robust to any non-finite weights produced upstream.
+    order.sort_unstable_by(|&e1, &e2| {
+        let w1 = l.weights()[e1 as usize];
+        let w2 = l.weights()[e2 as usize];
+        w2.total_cmp(&w1).then(e1.cmp(&e2))
+    });
+    let mut used_a = vec![false; l.na()];
+    let mut used_b = vec![false; l.nb()];
+    let mut chosen = Vec::new();
+    for e in order {
+        let le = l.edge(e);
+        if !used_a[le.a as usize] && !used_b[le.b as usize] {
+            used_a[le.a as usize] = true;
+            used_b[le.b as usize] = true;
+            chosen.push(e);
+        }
+    }
+    Matching::from_edge_ids(l, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::VertexId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn commits_in_weight_order() {
+        let l = BipartiteGraph::from_weighted_edges(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 4.0), (1, 1, 3.0)],
+        );
+        let m = greedy_matching(&l);
+        // Heaviest (0,1,5.0) first, then (1,0,4.0).
+        assert_eq!(m.mate_of_a(0), Some(1));
+        assert_eq!(m.mate_of_a(1), Some(0));
+        assert!((m.weight(&l) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_nonpositive() {
+        let l = BipartiteGraph::from_weighted_edges(1, 2, &[(0, 0, 0.0), (0, 1, -2.0)]);
+        let m = greedy_matching(&l);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two equal-weight edges fight for A0; the smaller edge id wins.
+        let l = BipartiteGraph::from_weighted_edges(1, 2, &[(0, 0, 2.0), (0, 1, 2.0)]);
+        let m = greedy_matching(&l);
+        assert_eq!(m.mate_of_a(0), Some(0));
+    }
+
+    #[test]
+    fn greedy_is_half_approximate_on_random() {
+        // Against brute force on tiny instances.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let triples: Vec<(VertexId, VertexId, f64)> = (0..12)
+                .map(|_| (rng.gen_range(0..4), rng.gen_range(0..4), rng.gen::<f64>()))
+                .collect();
+            let l = BipartiteGraph::from_weighted_edges(4, 4, &triples);
+            let m = greedy_matching(&l);
+            let best = brute_force_max_weight(&l);
+            assert!(
+                m.weight(&l) >= 0.5 * best - 1e-9,
+                "greedy {} < half of {}",
+                m.weight(&l),
+                best
+            );
+        }
+    }
+
+    /// Exhaustive maximum-weight matching for tiny graphs.
+    fn brute_force_max_weight(l: &BipartiteGraph) -> f64 {
+        fn rec(l: &BipartiteGraph, e: usize, used_a: &mut Vec<bool>, used_b: &mut Vec<bool>) -> f64 {
+            if e == l.num_edges() {
+                return 0.0;
+            }
+            // Skip edge e.
+            let mut best = rec(l, e + 1, used_a, used_b);
+            let le = l.edge(e as u32);
+            let w = l.weights()[e];
+            if w > 0.0 && !used_a[le.a as usize] && !used_b[le.b as usize] {
+                used_a[le.a as usize] = true;
+                used_b[le.b as usize] = true;
+                best = best.max(w + rec(l, e + 1, used_a, used_b));
+                used_a[le.a as usize] = false;
+                used_b[le.b as usize] = false;
+            }
+            best
+        }
+        let mut ua = vec![false; l.na()];
+        let mut ub = vec![false; l.nb()];
+        rec(l, 0, &mut ua, &mut ub)
+    }
+}

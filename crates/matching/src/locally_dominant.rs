@@ -1,0 +1,216 @@
+//! Sequential locally-dominant matching (Preis' algorithm, pointer form).
+//!
+//! Every vertex points at its most-preferred eligible incident edge
+//! (positive weight, opposite endpoint unmatched). A mutual pointer pair is
+//! a locally dominant edge and is committed. Committing an edge can change
+//! the candidates of the endpoints' neighbors, so those neighbors re-enter
+//! the worklist. Because eligibility only shrinks over time, a stored
+//! candidate is stale only if its opposite endpoint got matched — which
+//! always pushes the neighbor back onto the worklist, so staleness is
+//! always repaired before it can be acted on.
+
+use crate::matching::Matching;
+use crate::prefer;
+use cualign_graph::{BipartiteGraph, EdgeId, VertexId};
+
+/// Global vertex index: A-side `a` ↦ `a`, B-side `b` ↦ `na + b`.
+#[inline]
+fn gv_a(a: VertexId) -> usize {
+    a as usize
+}
+#[inline]
+fn gv_b(l: &BipartiteGraph, b: VertexId) -> usize {
+    l.na() + b as usize
+}
+
+/// Best eligible edge of a global vertex, under the crate preference order.
+fn candidate(l: &BipartiteGraph, matched: &[bool], gv: usize) -> Option<EdgeId> {
+    let na = l.na();
+    let mut best: Option<EdgeId> = None;
+    let mut consider = |e: EdgeId, other_gv: usize| {
+        // `!(w > 0)` rather than `w <= 0`: NaN fails every comparison,
+        // so this form also excludes NaN-weighted edges.
+        if !(l.weights()[e as usize] > 0.0) || matched[other_gv] {
+            return;
+        }
+        match best {
+            None => best = Some(e),
+            Some(cur) => {
+                if prefer(l, e, cur) {
+                    best = Some(e);
+                }
+            }
+        }
+    };
+    if gv < na {
+        for (b, e) in l.incident_a(gv as VertexId) {
+            consider(e, na + b as usize);
+        }
+    } else {
+        for (a, e) in l.incident_b((gv - na) as VertexId) {
+            consider(e, a as usize);
+        }
+    }
+    best
+}
+
+/// Computes the locally dominant matching of `l` sequentially.
+///
+/// Only strictly positive edge weights are eligible (a maximum-weight
+/// matching never contains a non-positive edge). The result is the unique
+/// matching determined by the total preference order, maximal over
+/// positive edges, and ½-approximate w.r.t. the maximum weight matching.
+pub fn locally_dominant_serial(l: &BipartiteGraph) -> Matching {
+    let nv = l.na() + l.nb();
+    let mut matched = vec![false; nv];
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    // Worklist of vertices whose candidate may have changed. Seed with all.
+    let mut work: Vec<usize> = (0..nv).collect();
+
+    while let Some(u) = work.pop() {
+        if matched[u] {
+            continue;
+        }
+        let Some(e) = candidate(l, &matched, u) else {
+            continue;
+        };
+        let le = l.edge(e);
+        let (gu, gvv) = (gv_a(le.a), gv_b(l, le.b));
+        let v = if u == gu { gvv } else { gu };
+        // Mutual check with a fresh candidate on the other side.
+        if candidate(l, &matched, v) != Some(e) {
+            // v prefers someone else; u will be re-pushed when v (or the
+            // preferred vertex) matches.
+            continue;
+        }
+        // Locally dominant: commit.
+        matched[gu] = true;
+        matched[gvv] = true;
+        chosen.push(e);
+        // Neighbors of both endpoints may need new candidates.
+        for (b, _) in l.incident_a(le.a) {
+            let w = gv_b(l, b);
+            if !matched[w] {
+                work.push(w);
+            }
+        }
+        for (a, _) in l.incident_b(le.b) {
+            let w = gv_a(a);
+            if !matched[w] {
+                work.push(w);
+            }
+        }
+    }
+    Matching::from_edge_ids(l, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_matching;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_l(na: usize, nb: usize, m: usize, seed: u64) -> BipartiteGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let triples: Vec<(VertexId, VertexId, f64)> = (0..m)
+            .map(|_| {
+                (
+                    rng.gen_range(0..na as VertexId),
+                    rng.gen_range(0..nb as VertexId),
+                    rng.gen::<f64>(),
+                )
+            })
+            .collect();
+        BipartiteGraph::from_weighted_edges(na, nb, &triples)
+    }
+
+    #[test]
+    fn single_edge() {
+        let l = BipartiteGraph::from_weighted_edges(1, 1, &[(0, 0, 1.0)]);
+        let m = locally_dominant_serial(&l);
+        assert_eq!(m.len(), 1);
+        m.check_valid(&l).unwrap();
+    }
+
+    #[test]
+    fn picks_heaviest_in_conflict() {
+        // A0 can match B0 (w=1) or B1 (w=5); A1 can match B1 (w=2).
+        let l = BipartiteGraph::from_weighted_edges(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 5.0), (1, 1, 2.0)],
+        );
+        let m = locally_dominant_serial(&l);
+        assert_eq!(m.mate_of_a(0), Some(1));
+        // Once A0–B1 is committed, A1's only option (B1) is taken and A0's
+        // lighter edge is unusable, so A1 and B0 stay unmatched.
+        assert_eq!(m.mate_of_a(1), None);
+        assert!((m.weight(&l) - 5.0).abs() < 1e-12);
+        assert!(m.is_maximal(&l));
+    }
+
+    #[test]
+    fn chain_propagation() {
+        // Weights force a cascade: (0,0,w=3) dominant, then (1,1,w=2), then (2,2,w=1).
+        let l = BipartiteGraph::from_weighted_edges(
+            3,
+            3,
+            &[
+                (0, 0, 3.0),
+                (1, 0, 2.5),
+                (1, 1, 2.0),
+                (2, 1, 1.5),
+                (2, 2, 1.0),
+            ],
+        );
+        let m = locally_dominant_serial(&l);
+        assert_eq!(m.mate_of_a(0), Some(0));
+        assert_eq!(m.mate_of_a(1), Some(1));
+        assert_eq!(m.mate_of_a(2), Some(2));
+        assert!((m.weight(&l) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_nonpositive_edges() {
+        let l = BipartiteGraph::from_weighted_edges(
+            2,
+            2,
+            &[(0, 0, -1.0), (0, 1, 0.0), (1, 1, 4.0)],
+        );
+        let m = locally_dominant_serial(&l);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.mate_of_a(1), Some(1));
+        assert!(m.is_maximal(&l));
+    }
+
+    #[test]
+    fn always_valid_and_maximal_on_random_graphs() {
+        for seed in 0..10 {
+            let l = random_l(40, 40, 300, seed);
+            let m = locally_dominant_serial(&l);
+            m.check_valid(&l).unwrap();
+            assert!(m.is_maximal(&l), "seed {seed} not maximal");
+        }
+    }
+
+    #[test]
+    fn comparable_to_greedy() {
+        // Locally-dominant and sorted-greedy produce the same matching when
+        // preferences are strict (both commit globally heaviest remaining).
+        for seed in 0..5 {
+            let l = random_l(30, 30, 200, 100 + seed);
+            let ld = locally_dominant_serial(&l);
+            let gr = greedy_matching(&l);
+            assert_eq!(ld, gr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let l = BipartiteGraph::from_weighted_edges(3, 3, &[]);
+        let m = locally_dominant_serial(&l);
+        assert!(m.is_empty());
+        assert!(m.is_maximal(&l));
+    }
+}

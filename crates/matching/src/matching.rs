@@ -1,0 +1,203 @@
+//! The [`Matching`] result type shared by every matcher, with validity and
+//! quality accessors.
+
+use cualign_graph::{BipartiteGraph, EdgeId, VertexId};
+
+/// A matching on a [`BipartiteGraph`]: a set of edges, no two sharing an
+/// endpoint, together with mate lookup tables for both sides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    mate_a: Vec<Option<VertexId>>,
+    mate_b: Vec<Option<VertexId>>,
+    edges: Vec<EdgeId>,
+}
+
+impl Matching {
+    /// Builds a matching from a set of edge ids of `l`.
+    ///
+    /// # Panics
+    /// Panics if two edges share an endpoint (not a matching).
+    pub fn from_edge_ids(l: &BipartiteGraph, mut ids: Vec<EdgeId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut mate_a = vec![None; l.na()];
+        let mut mate_b = vec![None; l.nb()];
+        for &e in &ids {
+            let le = l.edge(e);
+            assert!(
+                mate_a[le.a as usize].is_none(),
+                "vertex A{} matched twice",
+                le.a
+            );
+            assert!(
+                mate_b[le.b as usize].is_none(),
+                "vertex B{} matched twice",
+                le.b
+            );
+            mate_a[le.a as usize] = Some(le.b);
+            mate_b[le.b as usize] = Some(le.a);
+        }
+        Matching { mate_a, mate_b, edges: ids }
+    }
+
+    /// The empty matching on `l`'s vertex sets.
+    pub fn empty(l: &BipartiteGraph) -> Self {
+        Matching {
+            mate_a: vec![None; l.na()],
+            mate_b: vec![None; l.nb()],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of matched edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are matched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Matched edge ids, ascending.
+    #[inline]
+    pub fn edge_ids(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Mate of A-side vertex `a`, if matched.
+    #[inline]
+    pub fn mate_of_a(&self, a: VertexId) -> Option<VertexId> {
+        self.mate_a[a as usize]
+    }
+
+    /// Mate of B-side vertex `b`, if matched.
+    #[inline]
+    pub fn mate_of_b(&self, b: VertexId) -> Option<VertexId> {
+        self.mate_b[b as usize]
+    }
+
+    /// The full A-side mate table (`mate[a] = Some(b)` if matched).
+    #[inline]
+    pub fn mates_a(&self) -> &[Option<VertexId>] {
+        &self.mate_a
+    }
+
+    /// The full B-side mate table.
+    #[inline]
+    pub fn mates_b(&self) -> &[Option<VertexId>] {
+        &self.mate_b
+    }
+
+    /// Total weight under `l`'s current weights.
+    pub fn weight(&self, l: &BipartiteGraph) -> f64 {
+        self.edges.iter().map(|&e| l.weights()[e as usize]).sum()
+    }
+
+    /// Checks that this is a valid matching of `l` and that the mate tables
+    /// agree with the edge set.
+    pub fn check_valid(&self, l: &BipartiteGraph) -> Result<(), String> {
+        if self.mate_a.len() != l.na() || self.mate_b.len() != l.nb() {
+            return Err("mate table sizes wrong".into());
+        }
+        let mut seen_a = vec![false; l.na()];
+        let mut seen_b = vec![false; l.nb()];
+        for &e in &self.edges {
+            if (e as usize) >= l.num_edges() {
+                return Err(format!("edge id {e} out of range"));
+            }
+            let le = l.edge(e);
+            if seen_a[le.a as usize] || seen_b[le.b as usize] {
+                return Err(format!("edge {e} shares an endpoint"));
+            }
+            seen_a[le.a as usize] = true;
+            seen_b[le.b as usize] = true;
+            if self.mate_a[le.a as usize] != Some(le.b) || self.mate_b[le.b as usize] != Some(le.a)
+            {
+                return Err(format!("mate tables disagree with edge {e}"));
+            }
+        }
+        let table_count = self.mate_a.iter().filter(|m| m.is_some()).count();
+        if table_count != self.edges.len() {
+            return Err("mate table has entries not in the edge set".into());
+        }
+        Ok(())
+    }
+
+    /// Whether the matching is maximal w.r.t. positive-weight edges: no
+    /// edge of positive weight joins two unmatched vertices. Every
+    /// locally-dominant or greedy result must satisfy this.
+    pub fn is_maximal(&self, l: &BipartiteGraph) -> bool {
+        for (eid, le) in l.edges().iter().enumerate() {
+            if l.weights()[eid] > 0.0
+                && self.mate_a[le.a as usize].is_none()
+                && self.mate_b[le.b as usize].is_none()
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_l() -> BipartiteGraph {
+        BipartiteGraph::from_weighted_edges(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 0.5)],
+        )
+    }
+
+    #[test]
+    fn from_ids_builds_tables() {
+        let l = sample_l();
+        // Match (0,1) and (1,0): ids are sorted by (a,b): 0:(0,0) 1:(0,1) 2:(1,0) 3:(1,1)
+        let m = Matching::from_edge_ids(&l, vec![1, 2]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.mate_of_a(0), Some(1));
+        assert_eq!(m.mate_of_a(1), Some(0));
+        assert_eq!(m.mate_of_b(1), Some(0));
+        assert!((m.weight(&l) - 5.0).abs() < 1e-12);
+        m.check_valid(&l).unwrap();
+    }
+
+    #[test]
+    fn empty_matching_is_valid_not_maximal() {
+        let l = sample_l();
+        let m = Matching::empty(&l);
+        m.check_valid(&l).unwrap();
+        assert!(!m.is_maximal(&l), "positive edges remain");
+    }
+
+    #[test]
+    fn maximality_detection() {
+        let l = sample_l();
+        let m = Matching::from_edge_ids(&l, vec![1, 2]);
+        assert!(m.is_maximal(&l));
+        // Matching only (0,0) leaves (1,1) free with positive weight.
+        let m2 = Matching::from_edge_ids(&l, vec![0]);
+        assert!(!m2.is_maximal(&l));
+    }
+
+    #[test]
+    #[should_panic(expected = "matched twice")]
+    fn rejects_conflicting_edges() {
+        let l = sample_l();
+        // ids 0:(0,0) and 1:(0,1) share A-vertex 0.
+        let _ = Matching::from_edge_ids(&l, vec![0, 1]);
+    }
+
+    #[test]
+    fn dedups_edge_ids() {
+        let l = sample_l();
+        let m = Matching::from_edge_ids(&l, vec![2, 2, 2]);
+        assert_eq!(m.len(), 1);
+        m.check_valid(&l).unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! Failure-injection tests: how the matchers behave on adversarial
+//! weights (NaN, ±∞, subnormals). The contract: NaN edges are never
+//! eligible (every comparison against NaN is false, and NaN > 0.0 is
+//! false), +∞ edges are matched first, -∞ and negative edges never.
+
+use cualign_graph::BipartiteGraph;
+use cualign_matching::{
+    greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching,
+};
+
+#[test]
+fn nan_weights_are_ignored() {
+    let l = BipartiteGraph::from_weighted_edges(
+        2,
+        2,
+        &[(0, 0, f64::NAN), (0, 1, 1.0), (1, 0, 2.0)],
+    );
+    for m in [
+        locally_dominant_serial(&l),
+        locally_dominant_parallel(&l),
+        greedy_matching(&l),
+        suitor_matching(&l),
+    ] {
+        m.check_valid(&l).unwrap();
+        assert_eq!(m.mate_of_a(0), Some(1), "NaN edge must not be chosen");
+        assert_eq!(m.mate_of_a(1), Some(0));
+    }
+}
+
+#[test]
+fn infinite_weight_wins() {
+    let l = BipartiteGraph::from_weighted_edges(
+        2,
+        2,
+        &[(0, 0, f64::INFINITY), (0, 1, 5.0), (1, 1, 5.0)],
+    );
+    for m in [
+        locally_dominant_serial(&l),
+        locally_dominant_parallel(&l),
+        greedy_matching(&l),
+        suitor_matching(&l),
+    ] {
+        assert_eq!(m.mate_of_a(0), Some(0));
+        assert_eq!(m.mate_of_a(1), Some(1));
+    }
+}
+
+#[test]
+fn negative_infinity_never_matched() {
+    let l = BipartiteGraph::from_weighted_edges(1, 1, &[(0, 0, f64::NEG_INFINITY)]);
+    for m in [
+        locally_dominant_serial(&l),
+        locally_dominant_parallel(&l),
+        greedy_matching(&l),
+        suitor_matching(&l),
+    ] {
+        assert!(m.is_empty());
+    }
+}
+
+#[test]
+fn subnormal_weights_still_match() {
+    let tiny = f64::MIN_POSITIVE / 2.0; // subnormal, still > 0
+    let l = BipartiteGraph::from_weighted_edges(1, 2, &[(0, 0, tiny), (0, 1, tiny * 2.0)]);
+    for m in [
+        locally_dominant_serial(&l),
+        locally_dominant_parallel(&l),
+        greedy_matching(&l),
+        suitor_matching(&l),
+    ] {
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.mate_of_a(0), Some(1), "heavier subnormal wins");
+    }
+}
+
+#[test]
+fn all_matchers_agree_under_injection() {
+    // A mixed bag of pathological weights: agreement must survive.
+    let l = BipartiteGraph::from_weighted_edges(
+        4,
+        4,
+        &[
+            (0, 0, f64::NAN),
+            (0, 1, 1.0),
+            (1, 1, f64::INFINITY),
+            (1, 2, 3.0),
+            (2, 2, -0.0),
+            (2, 3, 1e-300),
+            (3, 3, f64::NEG_INFINITY),
+            (3, 0, 0.5),
+        ],
+    );
+    let reference = locally_dominant_serial(&l);
+    assert_eq!(reference, locally_dominant_parallel(&l));
+    assert_eq!(reference, greedy_matching(&l));
+    assert_eq!(reference, suitor_matching(&l));
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the matchers: the approximation guarantee,
+//! serial/parallel equivalence, validity, and maximality on arbitrary
+//! weighted bipartite graphs.
+
+use cualign_graph::BipartiteGraph;
+use cualign_matching::{
+    greedy_matching, hungarian_matching, locally_dominant_parallel, locally_dominant_serial,
+    suitor_matching,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary weighted bipartite graph, including negative
+/// and zero weights and duplicate pairs.
+fn bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..12, 1usize..12).prop_flat_map(|(na, nb)| {
+        prop::collection::vec(
+            (0..na as u32, 0..nb as u32, -2.0f64..8.0),
+            0..60,
+        )
+        .prop_map(move |t| BipartiteGraph::from_weighted_edges(na, nb, &t))
+    })
+}
+
+proptest! {
+    /// Every matcher returns a valid matching; the heuristics are maximal
+    /// over positive edges.
+    #[test]
+    fn matchers_valid_and_maximal(l in bipartite()) {
+        for (name, m) in [
+            ("serial", locally_dominant_serial(&l)),
+            ("parallel", locally_dominant_parallel(&l)),
+            ("greedy", greedy_matching(&l)),
+            ("suitor", suitor_matching(&l)),
+            ("hungarian", hungarian_matching(&l)),
+        ] {
+            prop_assert!(m.check_valid(&l).is_ok(), "{} invalid", name);
+            if name != "hungarian" {
+                prop_assert!(m.is_maximal(&l), "{} not maximal", name);
+            }
+        }
+    }
+
+    /// The locally dominant matching is unique under the total preference
+    /// order, so the three ½-approx algorithms coincide exactly.
+    #[test]
+    fn heuristics_coincide(l in bipartite()) {
+        let serial = locally_dominant_serial(&l);
+        prop_assert_eq!(&serial, &locally_dominant_parallel(&l));
+        prop_assert_eq!(&serial, &greedy_matching(&l));
+        prop_assert_eq!(&serial, &suitor_matching(&l));
+    }
+
+    /// Half-approximation against the exact oracle, and the oracle
+    /// dominates all heuristics.
+    #[test]
+    fn half_approximation_certified(l in bipartite()) {
+        let opt = hungarian_matching(&l).weight(&l);
+        let heur = locally_dominant_serial(&l).weight(&l);
+        prop_assert!(heur <= opt + 1e-9, "heuristic beat the optimum");
+        prop_assert!(heur >= 0.5 * opt - 1e-9, "below 1/2-approx: {} vs {}", heur, opt);
+    }
+
+    /// No matcher ever selects a non-positive edge.
+    #[test]
+    fn no_nonpositive_edges_matched(l in bipartite()) {
+        for m in [
+            locally_dominant_serial(&l),
+            locally_dominant_parallel(&l),
+            greedy_matching(&l),
+            suitor_matching(&l),
+            hungarian_matching(&l),
+        ] {
+            for &e in m.edge_ids() {
+                prop_assert!(l.weights()[e as usize] > 0.0);
+            }
+        }
+    }
+
+    /// Scaling all weights by a positive constant leaves the locally
+    /// dominant matching unchanged (the preference order is invariant).
+    #[test]
+    fn matching_is_scale_invariant(l in bipartite(), scale in 0.1f64..10.0) {
+        let base = locally_dominant_serial(&l);
+        let mut scaled = l.clone();
+        let w: Vec<f64> = l.weights().iter().map(|x| x * scale).collect();
+        scaled.set_weights(&w);
+        prop_assert_eq!(base, locally_dominant_serial(&scaled));
+    }
+
+    /// Matching size is bounded by min(na, nb) and by the edge count.
+    #[test]
+    fn size_bounds(l in bipartite()) {
+        let m = locally_dominant_serial(&l);
+        prop_assert!(m.len() <= l.na().min(l.nb()));
+        prop_assert!(m.len() <= l.num_edges());
+    }
+}

@@ -1,0 +1,315 @@
+//! # cualign-overlap
+//!
+//! Construction of the overlap ("squares") matrix **S** — Algorithm 3 of
+//! the paper.
+//!
+//! Rows and columns of `S` are indexed by the edges of the bipartite graph
+//! `L`. Entry `S[(i,i'),(j,j')] = 1` iff `(i,j) ∈ E_A` and `(i',j') ∈ E_B`:
+//! the two candidate alignment edges close a "square" through one edge of
+//! each input graph, i.e. matching both of them conserves an edge. The
+//! number of such conserved edges is the quadratic term of the alignment
+//! objective (Eq. 1).
+//!
+//! Structural properties the rest of the stack leans on:
+//!
+//! * `S` is **structurally symmetric** (input graphs are undirected), so a
+//!   single CSR plus a transpose permutation `perm` (an involution mapping
+//!   each nonzero to its mirror) supports both `S` and `Sᵀ` traversal —
+//!   exactly the `perm[j]` indirection in the paper's fused kernel
+//!   (Listing 1).
+//! * The sparsity pattern is **fixed** for the whole BP run; only values
+//!   attached to the nonzeros change. Belief propagation therefore stores
+//!   its message matrices as flat value arrays parallel to `col_idx`.
+//!
+//! Construction is embarrassingly parallel over the edges of `L`
+//! (rayon `par_iter` per row), as the paper notes.
+
+#![warn(missing_docs)]
+
+use cualign_graph::{BipartiteGraph, CsrGraph, EdgeId};
+use rayon::prelude::*;
+
+/// The overlap matrix `S` in CSR form with a transpose permutation.
+#[derive(Clone, Debug)]
+pub struct OverlapMatrix {
+    /// Row offsets (`num_rows + 1` entries).
+    row_offsets: Vec<usize>,
+    /// Column indices per row, ascending (edge ids of `L`).
+    col_idx: Vec<EdgeId>,
+    /// `perm[j]` = flat index of the mirrored nonzero: if nonzero `j` sits
+    /// at `(e, e')`, then `col_idx[perm[j]] == e` within row `e'`.
+    transpose_perm: Vec<u32>,
+}
+
+impl OverlapMatrix {
+    /// Builds `S` from the two input graphs and the bipartite graph `L`
+    /// (Algorithm 3; parallel over rows).
+    pub fn build(a: &CsrGraph, b: &CsrGraph, l: &BipartiteGraph) -> Self {
+        let m = l.num_edges();
+        // Row e = (u, v): for every neighbor u' of u and v' of v, the edge
+        // (u', v') of L (if present) overlaps e.
+        let rows: Vec<Vec<EdgeId>> = (0..m)
+            .into_par_iter()
+            .map(|e| {
+                let le = l.edge(e as EdgeId);
+                let mut cols = Vec::new();
+                for &u2 in a.neighbors(le.a) {
+                    for &v2 in b.neighbors(le.b) {
+                        if let Some(e2) = l.edge_id(u2, v2) {
+                            cols.push(e2);
+                        }
+                    }
+                }
+                cols.sort_unstable();
+                cols.dedup();
+                cols
+            })
+            .collect();
+
+        let mut row_offsets = Vec::with_capacity(m + 1);
+        row_offsets.push(0usize);
+        for r in &rows {
+            row_offsets.push(row_offsets.last().expect("non-empty") + r.len());
+        }
+        let col_idx: Vec<EdgeId> = rows.into_iter().flatten().collect();
+
+        // Transpose permutation: nonzero j at (row, col) ↦ index of (col,
+        // row). Symmetry of the pattern guarantees the mirror exists.
+        let transpose_perm: Vec<u32> = (0..m)
+            .into_par_iter()
+            .flat_map_iter(|row| {
+                let start = row_offsets[row];
+                let end = row_offsets[row + 1];
+                let row_offsets = &row_offsets;
+                let col_idx = &col_idx;
+                (start..end).map(move |j| {
+                    let col = col_idx[j] as usize;
+                    let cs = row_offsets[col];
+                    let ce = row_offsets[col + 1];
+                    let pos = col_idx[cs..ce]
+                        .binary_search(&(row as EdgeId))
+                        .expect("overlap matrix not structurally symmetric");
+                    (cs + pos) as u32
+                })
+            })
+            .collect();
+
+        OverlapMatrix { row_offsets, col_idx, transpose_perm }
+    }
+
+    /// Number of rows (= `|E_L|`).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of structural nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row offsets.
+    #[inline]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// All column indices (flat CSR).
+    #[inline]
+    pub fn col_indices(&self) -> &[EdgeId] {
+        &self.col_idx
+    }
+
+    /// Column indices of row `e` — the edges overlapping `e`.
+    #[inline]
+    pub fn row(&self, e: EdgeId) -> &[EdgeId] {
+        &self.col_idx[self.row_offsets[e as usize]..self.row_offsets[e as usize + 1]]
+    }
+
+    /// Number of overlaps of edge `e` (row degree).
+    #[inline]
+    pub fn row_degree(&self, e: EdgeId) -> usize {
+        self.row_offsets[e as usize + 1] - self.row_offsets[e as usize]
+    }
+
+    /// The transpose permutation (see struct docs).
+    #[inline]
+    pub fn transpose_perm(&self) -> &[u32] {
+        &self.transpose_perm
+    }
+
+    /// Whether nonzero `(e, e')` exists, i.e. the two edges overlap.
+    pub fn overlaps(&self, e: EdgeId, e2: EdgeId) -> bool {
+        self.row(e).binary_search(&e2).is_ok()
+    }
+
+    /// Counts conserved (overlapped) edges under a matching, given a
+    /// membership mask over `L`'s edge ids. Each overlapping pair counts
+    /// once (the CSR stores both directions, hence the halving) — this is
+    /// the `xᵀSx / 2` term of Eq. (1).
+    pub fn count_matched_overlaps(&self, in_matching: &[bool]) -> usize {
+        assert_eq!(in_matching.len(), self.num_rows(), "mask length mismatch");
+        let twice: usize = (0..self.num_rows())
+            .into_par_iter()
+            .filter(|&e| in_matching[e])
+            .map(|e| {
+                self.row(e as EdgeId)
+                    .iter()
+                    .filter(|&&e2| in_matching[e2 as usize])
+                    .count()
+            })
+            .sum();
+        twice / 2
+    }
+
+    /// Validates structural symmetry and that `transpose_perm` is a
+    /// consistent involution.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_rows();
+        for e in 0..n {
+            let (s, t) = (self.row_offsets[e], self.row_offsets[e + 1]);
+            let row = &self.col_idx[s..t];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("row {e} not strictly sorted"));
+            }
+            for j in s..t {
+                let e2 = self.col_idx[j];
+                if !self.overlaps(e2, e as EdgeId) {
+                    return Err(format!("asymmetric nonzero ({e}, {e2})"));
+                }
+                let p = self.transpose_perm[j] as usize;
+                if self.col_idx[p] != e as EdgeId {
+                    return Err(format!("perm[{j}] does not point at the mirror"));
+                }
+                if self.transpose_perm[p] as usize != j {
+                    return Err(format!("perm not an involution at {j}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::generators::erdos_renyi_gnm;
+    use cualign_graph::{Permutation, VertexId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force S for cross-checking.
+    fn brute_overlaps(a: &CsrGraph, b: &CsrGraph, l: &BipartiteGraph) -> Vec<(EdgeId, EdgeId)> {
+        let mut pairs = Vec::new();
+        for e in 0..l.num_edges() as EdgeId {
+            for e2 in 0..l.num_edges() as EdgeId {
+                let le = l.edge(e);
+                let le2 = l.edge(e2);
+                if a.has_edge(le.a, le2.a) && b.has_edge(le.b, le2.b) {
+                    pairs.push((e, e2));
+                }
+            }
+        }
+        pairs
+    }
+
+    fn small_instance() -> (CsrGraph, CsrGraph, BipartiteGraph) {
+        // A: path 0-1-2; B: path 0-1-2. L: diagonal + one off-diagonal.
+        let a = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let b = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let l = BipartiteGraph::from_weighted_edges(
+            3,
+            3,
+            &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 2, 0.5)],
+        );
+        (a, b, l)
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let (a, b, l) = small_instance();
+        let s = OverlapMatrix::build(&a, &b, &l);
+        s.check_invariants().unwrap();
+        let brute = brute_overlaps(&a, &b, &l);
+        assert_eq!(s.nnz(), brute.len());
+        for (e, e2) in brute {
+            assert!(s.overlaps(e, e2), "missing overlap ({e}, {e2})");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = erdos_renyi_gnm(12, 25, &mut rng);
+        let b = erdos_renyi_gnm(12, 25, &mut rng);
+        let triples: Vec<(VertexId, VertexId, f64)> = (0..60)
+            .map(|_| (rng.gen_range(0..12), rng.gen_range(0..12), rng.gen::<f64>()))
+            .collect();
+        let l = BipartiteGraph::from_weighted_edges(12, 12, &triples);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        s.check_invariants().unwrap();
+        let brute = brute_overlaps(&a, &b, &l);
+        assert_eq!(s.nnz(), brute.len());
+    }
+
+    #[test]
+    fn identity_alignment_conserves_all_edges() {
+        // B = A, L = identity diagonal: matching everything conserves every
+        // edge of A.
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = erdos_renyi_gnm(20, 50, &mut rng);
+        let b = a.clone();
+        let triples: Vec<(VertexId, VertexId, f64)> =
+            (0..20).map(|i| (i, i, 1.0)).collect();
+        let l = BipartiteGraph::from_weighted_edges(20, 20, &triples);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let mask = vec![true; l.num_edges()];
+        assert_eq!(s.count_matched_overlaps(&mask), a.num_edges());
+    }
+
+    #[test]
+    fn permuted_diagonal_conserves_all_edges() {
+        // B = P(A); L pairs i with P(i): the ground-truth alignment
+        // conserves all |E_A| edges.
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = erdos_renyi_gnm(25, 60, &mut rng);
+        let p = Permutation::random(25, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let triples: Vec<(VertexId, VertexId, f64)> =
+            (0..25).map(|i| (i, p.apply(i), 1.0)).collect();
+        let l = BipartiteGraph::from_weighted_edges(25, 25, &triples);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let mask = vec![true; l.num_edges()];
+        assert_eq!(s.count_matched_overlaps(&mask), a.num_edges());
+    }
+
+    #[test]
+    fn no_overlap_without_structure() {
+        // Edgeless inputs: S is all zero.
+        let a = CsrGraph::empty(4);
+        let b = CsrGraph::empty(4);
+        let l = BipartiteGraph::from_weighted_edges(4, 4, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        assert_eq!(s.nnz(), 0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn diagonal_has_no_self_overlap() {
+        // An edge never overlaps itself (would need a self loop in A and B).
+        let (a, b, l) = small_instance();
+        let s = OverlapMatrix::build(&a, &b, &l);
+        for e in 0..l.num_edges() as EdgeId {
+            assert!(!s.overlaps(e, e), "self-overlap at {e}");
+        }
+    }
+
+    #[test]
+    fn empty_mask_counts_zero() {
+        let (a, b, l) = small_instance();
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let mask = vec![false; l.num_edges()];
+        assert_eq!(s.count_matched_overlaps(&mask), 0);
+    }
+}

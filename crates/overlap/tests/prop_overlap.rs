@@ -1,0 +1,92 @@
+//! Property-based tests for the overlap matrix `S`: agreement with the
+//! definitional brute force and the structural-symmetry/involution
+//! invariants, over random graph pairs and random `L`.
+
+use cualign_graph::generators::erdos_renyi_gnm;
+use cualign_graph::{BipartiteGraph, CsrGraph, Permutation};
+use cualign_overlap::OverlapMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random instance: graphs A, B on ≤ 14 vertices and a random candidate
+/// graph L.
+fn instance() -> impl Strategy<Value = (CsrGraph, CsrGraph, BipartiteGraph)> {
+    (3usize..14, 0u64..5000).prop_flat_map(|(n, seed)| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 1..50).prop_map(move |pairs| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = erdos_renyi_gnm(n, n.min(n * (n - 1) / 2), &mut rng);
+            let b = erdos_renyi_gnm(n, n.min(n * (n - 1) / 2), &mut rng);
+            let triples: Vec<(u32, u32, f64)> =
+                pairs.into_iter().map(|(x, y)| (x, y, 1.0)).collect();
+            let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+            (a, b, l)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// S equals the brute-force definition: S[e][e'] = 1 iff the A
+    /// endpoints are adjacent in A and the B endpoints adjacent in B.
+    #[test]
+    fn matches_definition((a, b, l) in instance()) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        prop_assert!(s.check_invariants().is_ok());
+        for e in 0..l.num_edges() as u32 {
+            for e2 in 0..l.num_edges() as u32 {
+                let le = l.edge(e);
+                let le2 = l.edge(e2);
+                let want = a.has_edge(le.a, le2.a) && b.has_edge(le.b, le2.b);
+                prop_assert_eq!(s.overlaps(e, e2), want, "entry ({}, {})", e, e2);
+            }
+        }
+    }
+
+    /// The transpose permutation is an involution mapping every nonzero to
+    /// its mirror, and the diagonal is empty (simple graphs).
+    #[test]
+    fn perm_involution_and_no_diagonal((a, b, l) in instance()) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let perm = s.transpose_perm();
+        for j in 0..s.nnz() {
+            prop_assert_eq!(perm[perm[j] as usize] as usize, j);
+        }
+        for e in 0..l.num_edges() as u32 {
+            prop_assert!(!s.overlaps(e, e));
+        }
+    }
+
+    /// The ground-truth matching on a permuted pair conserves exactly
+    /// |E_A| edges when L contains the full truth diagonal.
+    #[test]
+    fn truth_conserves_everything(n in 4usize..16, seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = erdos_renyi_gnm(n, (n * 3 / 2).min(n * (n - 1) / 2), &mut rng);
+        let p = Permutation::random(n, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let triples: Vec<(u32, u32, f64)> =
+            (0..n as u32).map(|i| (i, p.apply(i), 1.0)).collect();
+        let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let mask = vec![true; l.num_edges()];
+        prop_assert_eq!(s.count_matched_overlaps(&mask), a.num_edges());
+    }
+
+    /// Overlap counting under a mask is monotone: adding edges to the
+    /// matching mask never decreases the count.
+    #[test]
+    fn mask_monotonicity((a, b, l) in instance(), flips in prop::collection::vec(any::<bool>(), 1..50)) {
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let m = l.num_edges();
+        let mut small = vec![false; m];
+        for (i, &f) in flips.iter().enumerate() {
+            if i < m {
+                small[i] = f;
+            }
+        }
+        let big = vec![true; m];
+        prop_assert!(s.count_matched_overlaps(&small) <= s.count_matched_overlaps(&big));
+    }
+}

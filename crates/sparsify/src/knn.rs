@@ -1,0 +1,148 @@
+//! Exact brute-force k-nearest-neighbor search over embedding rows.
+//!
+//! For each query row, compute cosine similarity against every row of the
+//! other embedding and keep the top `k`. Rows are unit-normalized by the
+//! embedding stage, so similarity is a dot product; with `n ≤ 10⁴` and
+//! `d ≤ 256` the `O(n² d)` sweep is seconds of rayon-parallel streaming —
+//! no approximate index needed at the paper's scales.
+
+use cualign_graph::VertexId;
+use cualign_linalg::{vecops, DenseMatrix};
+use rayon::prelude::*;
+
+/// Which side queries which.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KnnDirection {
+    /// Each A-row finds its `k` nearest B-rows.
+    AtoB,
+    /// Each B-row finds its `k` nearest A-rows.
+    BtoA,
+}
+
+/// Returns `(a, b, weight)` triples for the `k` nearest cross-graph
+/// neighbors of every vertex on the querying side, with
+/// `weight = (1 + cosine)/2 ∈ (0, 1]`.
+///
+/// Ties in similarity break toward the smaller target id, making the
+/// candidate set deterministic.
+pub fn knn_candidates(
+    ya: &DenseMatrix,
+    yb: &DenseMatrix,
+    k: usize,
+    direction: KnnDirection,
+) -> Vec<(VertexId, VertexId, f64)> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(ya.cols(), yb.cols(), "embedding dimension mismatch");
+    let (queries, targets) = match direction {
+        KnnDirection::AtoB => (ya, yb),
+        KnnDirection::BtoA => (yb, ya),
+    };
+    let nq = queries.rows();
+    let nt = targets.rows();
+    let keep = k.min(nt);
+
+    let mut out: Vec<Vec<(VertexId, VertexId, f64)>> = Vec::new();
+    (0..nq)
+        .into_par_iter()
+        .map(|q| {
+            // Score all targets, then partial-select the top `keep`.
+            let qrow = queries.row(q);
+            let mut scored: Vec<(f64, usize)> = (0..nt)
+                .map(|t| (vecops::cosine_similarity(qrow, targets.row(t)), t))
+                .collect();
+            // Descending similarity, ascending id on ties.
+            scored.select_nth_unstable_by(keep - 1, |x, y| {
+                y.0.total_cmp(&x.0).then(x.1.cmp(&y.1))
+            });
+            scored.truncate(keep);
+            scored
+                .into_iter()
+                .map(|(sim, t)| {
+                    let w = (1.0 + sim) / 2.0;
+                    // Clamp away a potential exact zero for antipodal rows;
+                    // downstream matchers require strictly positive weights.
+                    let w = w.max(f64::MIN_POSITIVE);
+                    match direction {
+                        KnnDirection::AtoB => (q as VertexId, t as VertexId, w),
+                        KnnDirection::BtoA => (t as VertexId, q as VertexId, w),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect_into_vec(&mut out);
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis_embeddings() -> (DenseMatrix, DenseMatrix) {
+        // A rows: e0, e1, e2. B rows: e1, e0, e2 (swapped first two).
+        let ya = DenseMatrix::from_vec(
+            3,
+            3,
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+        );
+        let yb = DenseMatrix::from_vec(
+            3,
+            3,
+            vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        );
+        (ya, yb)
+    }
+
+    #[test]
+    fn finds_exact_matches_first() {
+        let (ya, yb) = axis_embeddings();
+        let cands = knn_candidates(&ya, &yb, 1, KnnDirection::AtoB);
+        // A0 (e0) ↦ B1, A1 (e1) ↦ B0, A2 ↦ B2.
+        let mut pairs: Vec<(u32, u32)> = cands.iter().map(|&(a, b, _)| (a, b)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 0), (2, 2)]);
+        for &(_, _, w) in &cands {
+            assert!((w - 1.0).abs() < 1e-12, "perfect match weight should be 1");
+        }
+    }
+
+    #[test]
+    fn direction_flips_roles() {
+        let (ya, yb) = axis_embeddings();
+        let ab = knn_candidates(&ya, &yb, 1, KnnDirection::AtoB);
+        let ba = knn_candidates(&ya, &yb, 1, KnnDirection::BtoA);
+        // Both directions emit (a, b) ordered triples; for this symmetric
+        // instance the pair sets coincide.
+        let norm = |v: &[(u32, u32, f64)]| {
+            let mut p: Vec<(u32, u32)> = v.iter().map(|&(a, b, _)| (a, b)).collect();
+            p.sort_unstable();
+            p
+        };
+        assert_eq!(norm(&ab), norm(&ba));
+    }
+
+    #[test]
+    fn k_is_respected() {
+        let (ya, yb) = axis_embeddings();
+        let cands = knn_candidates(&ya, &yb, 2, KnnDirection::AtoB);
+        assert_eq!(cands.len(), 6);
+        let all = knn_candidates(&ya, &yb, 99, KnnDirection::AtoB);
+        assert_eq!(all.len(), 9, "k larger than n keeps everything");
+    }
+
+    #[test]
+    fn weights_strictly_positive_even_antipodal() {
+        let ya = DenseMatrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let yb = DenseMatrix::from_vec(1, 2, vec![-1.0, 0.0]);
+        let cands = knn_candidates(&ya, &yb, 1, KnnDirection::AtoB);
+        assert!(cands[0].2 > 0.0);
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_id() {
+        // Two identical B rows: the smaller id must be ranked first.
+        let ya = DenseMatrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let yb = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        let cands = knn_candidates(&ya, &yb, 1, KnnDirection::AtoB);
+        assert_eq!(cands[0].1, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Alternative sparsifiers — the paper's future work ("new approaches
+//! for sparsification", §7) and the framework's pluggability claim
+//! (§6.3: "one can easily switch … sparsification algorithms").
+//!
+//! * [`Sparsifier::UnionKnn`] — the paper's default: an edge survives if
+//!   either endpoint ranks it among its `k` nearest.
+//! * [`Sparsifier::MutualKnn`] — stricter: both endpoints must rank it.
+//!   Produces fewer, higher-precision candidates; useful on noisy inputs
+//!   where union-kNN admits hub-induced false candidates.
+//! * [`Sparsifier::Threshold`] — similarity cutoff with a per-vertex cap;
+//!   adapts the candidate count to the similarity landscape instead of
+//!   fixing `k`.
+
+use crate::knn::{knn_candidates, KnnDirection};
+use cualign_graph::{BipartiteGraph, VertexId};
+use cualign_linalg::{vecops, DenseMatrix};
+use rayon::prelude::*;
+use std::collections::HashSet;
+
+/// Which sparsification rule builds `L` from the aligned embeddings.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Sparsifier {
+    /// Union of each side's k-nearest neighbors (the paper's Algorithm 1).
+    UnionKnn {
+        /// Neighbors per vertex.
+        k: usize,
+    },
+    /// Intersection of the two sides' k-nearest neighbor sets.
+    MutualKnn {
+        /// Neighbors per vertex.
+        k: usize,
+    },
+    /// All pairs with weight `(1+cos)/2 ≥ min_weight`, capped per A-vertex.
+    Threshold {
+        /// Minimum edge weight retained.
+        min_weight: f64,
+        /// Maximum retained candidates per A-side vertex (guards the
+        /// `O(n²)` blowup when the threshold is permissive).
+        cap_per_vertex: usize,
+    },
+}
+
+/// Builds `L` under the chosen sparsifier.
+///
+/// # Panics
+/// Panics on dimension mismatch, `k == 0`, or a non-positive cap.
+pub fn build_with(ya: &DenseMatrix, yb: &DenseMatrix, rule: &Sparsifier) -> BipartiteGraph {
+    assert_eq!(ya.cols(), yb.cols(), "embedding dimension mismatch");
+    match *rule {
+        Sparsifier::UnionKnn { k } => crate::build_alignment_graph(ya, yb, k),
+        Sparsifier::MutualKnn { k } => {
+            assert!(k > 0, "k must be positive");
+            let ab = knn_candidates(ya, yb, k, KnnDirection::AtoB);
+            let ba = knn_candidates(ya, yb, k, KnnDirection::BtoA);
+            let ba_set: HashSet<(VertexId, VertexId)> =
+                ba.iter().map(|&(a, b, _)| (a, b)).collect();
+            let mutual: Vec<(VertexId, VertexId, f64)> = ab
+                .into_iter()
+                .filter(|&(a, b, _)| ba_set.contains(&(a, b)))
+                .collect();
+            BipartiteGraph::from_weighted_edges(ya.rows(), yb.rows(), &mutual)
+        }
+        Sparsifier::Threshold { min_weight, cap_per_vertex } => {
+            assert!(cap_per_vertex > 0, "cap must be positive");
+            let nb = yb.rows();
+            let triples: Vec<(VertexId, VertexId, f64)> = (0..ya.rows())
+                .into_par_iter()
+                .flat_map_iter(|a| {
+                    let arow = ya.row(a);
+                    let mut kept: Vec<(VertexId, VertexId, f64)> = (0..nb)
+                        .filter_map(|b| {
+                            let w = (1.0 + vecops::cosine_similarity(arow, yb.row(b))) / 2.0;
+                            (w >= min_weight)
+                                .then_some((a as VertexId, b as VertexId, w.max(f64::MIN_POSITIVE)))
+                        })
+                        .collect();
+                    if kept.len() > cap_per_vertex {
+                        kept.sort_by(|x, y| y.2.total_cmp(&x.2).then(x.1.cmp(&y.1)));
+                        kept.truncate(cap_per_vertex);
+                    }
+                    kept
+                })
+                .collect();
+            BipartiteGraph::from_weighted_edges(ya.rows(), yb.rows(), &triples)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted(n: usize, d: usize, noise: f64, seed: u64) -> (DenseMatrix, DenseMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ya = DenseMatrix::gaussian(n, d, &mut rng);
+        let mut yb = ya.clone();
+        for x in yb.data_mut() {
+            *x += noise * (rng.gen::<f64>() - 0.5);
+        }
+        (ya, yb)
+    }
+
+    #[test]
+    fn mutual_is_subset_of_union() {
+        let (ya, yb) = planted(60, 12, 0.4, 1);
+        let union = build_with(&ya, &yb, &Sparsifier::UnionKnn { k: 4 });
+        let mutual = build_with(&ya, &yb, &Sparsifier::MutualKnn { k: 4 });
+        assert!(mutual.num_edges() <= union.num_edges());
+        for le in mutual.edges() {
+            assert!(union.edge_id(le.a, le.b).is_some(), "mutual edge missing from union");
+        }
+        mutual.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mutual_keeps_planted_pairs_with_low_noise() {
+        let (ya, yb) = planted(50, 16, 0.02, 2);
+        let mutual = build_with(&ya, &yb, &Sparsifier::MutualKnn { k: 3 });
+        for i in 0..50 {
+            assert!(mutual.edge_id(i, i).is_some(), "pair ({i},{i}) dropped");
+        }
+    }
+
+    #[test]
+    fn threshold_respects_cutoff_and_cap() {
+        let (ya, yb) = planted(40, 8, 0.5, 3);
+        let rule = Sparsifier::Threshold { min_weight: 0.8, cap_per_vertex: 5 };
+        let l = build_with(&ya, &yb, &rule);
+        l.check_invariants().unwrap();
+        for &w in l.weights() {
+            assert!(w >= 0.8);
+        }
+        for a in 0..40u32 {
+            assert!(l.degree_a(a) <= 5);
+        }
+    }
+
+    #[test]
+    fn permissive_threshold_on_identical_embeddings() {
+        let (ya, _) = planted(10, 4, 0.0, 4);
+        let yb = ya.clone();
+        // min_weight 0 keeps everything up to the cap.
+        let l = build_with(&ya, &yb, &Sparsifier::Threshold { min_weight: 0.0, cap_per_vertex: 100 });
+        assert_eq!(l.num_edges(), 100);
+        // The diagonal has weight 1 (identical rows).
+        for i in 0..10u32 {
+            let e = l.edge_id(i, i).unwrap();
+            assert!((l.weights()[e as usize] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn union_variant_matches_default_builder() {
+        let (ya, yb) = planted(30, 8, 0.3, 5);
+        let a = build_with(&ya, &yb, &Sparsifier::UnionKnn { k: 5 });
+        let b = crate::build_alignment_graph(&ya, &yb, 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

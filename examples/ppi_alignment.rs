@@ -1,0 +1,69 @@
+//! Protein–protein interaction network alignment — the paper's motivating
+//! application (§1: "applications in bioinformatics…").
+//!
+//! Aligns a PPI-like network (duplication–divergence topology matched to
+//! the paper's fly_Y2H1 input) against a *noisy* permuted copy: a fraction
+//! of interactions is rewired, as happens between two experimental
+//! screenings of the same interactome. Compares cuAlign against the
+//! cone-align baseline across noise levels — the regime where BP
+//! refinement earns its keep.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example ppi_alignment
+//! ```
+
+use cualign::{cone_align, Aligner, AlignerConfig, SparsityChoice};
+use cualign_graph::noise::rewire;
+use cualign_graph::stats::{degree_stats, global_clustering};
+use cualign_graph::Permutation;
+use cualign_graph::generators::duplication_divergence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // A scaled-down fly-interactome stand-in (full-size runs live in the
+    // bench harness; this example keeps the demo under a minute).
+    let a = duplication_divergence(1200, 0.40, 0.28, &mut rng);
+    let ds = degree_stats(&a);
+    println!(
+        "PPI-like network: |V| = {}, |E| = {}, deg μ = {:.1} σ = {:.1} max = {}, clustering = {:.3}",
+        a.num_vertices(),
+        a.num_edges(),
+        ds.mean,
+        ds.std_dev,
+        ds.max,
+        global_clustering(&a)
+    );
+
+    let mut cfg = AlignerConfig::default();
+    cfg.sparsity = SparsityChoice::Density(0.025);
+    cfg.bp.max_iters = 20;
+
+    println!("\n{:>7} | {:>14} | {:>14} | {:>8}", "noise", "cuAlign NCVGS3", "cone NCV-GS3", "delta");
+    println!("{}", "-".repeat(55));
+    for noise_pct in [0.0, 0.02, 0.05, 0.10] {
+        // B = rewire(P(A)): same permutation protocol as the paper, plus
+        // edge noise.
+        let p = Permutation::random(a.num_vertices(), &mut rng);
+        let b0 = p.apply_to_graph(&a);
+        let b = rewire(&b0, noise_pct, &mut rng);
+
+        let cu = Aligner::new(cfg.clone()).align(&a, &b);
+        let cone = cone_align(&a, &b, &cfg);
+        let delta = if cone.scores.ncv_gs3 > 0.0 {
+            100.0 * (cu.scores.ncv_gs3 - cone.scores.ncv_gs3) / cone.scores.ncv_gs3
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6.0}% | {:>14.4} | {:>14.4} | {:>+7.1}%",
+            noise_pct * 100.0,
+            cu.scores.ncv_gs3,
+            cone.scores.ncv_gs3,
+            delta
+        );
+    }
+    println!("\n(positive delta = BP refinement conserves more interactions than direct rounding)");
+}
