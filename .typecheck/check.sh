@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Offline verification harness.
+#
+# The reproduction environment has no crates.io mirror, so `cargo build`
+# cannot resolve the external deps (rand, rayon, serde, proptest,
+# criterion). This script temporarily points the workspace at the API-
+# compatible stubs in .typecheck/stubs/, runs the requested cargo command
+# (default: a full check + the non-proptest test targets), and restores
+# the real manifest afterwards. The stub RNG is deterministic, and the
+# stub rayon is sequential, so `cargo test` under the harness exercises
+# real logic — only RNG-stream-dependent quality thresholds differ from
+# a real-deps run.
+#
+# Usage:
+#   .typecheck/check.sh                 # cargo check workspace + key tests
+#   .typecheck/check.sh test -q ...     # any cargo subcommand, stubs on
+set -u
+cd "$(dirname "$0")/.."
+
+cp Cargo.toml .typecheck/Cargo.toml.real
+cleanup() {
+  mv .typecheck/Cargo.toml.real Cargo.toml
+  rm -f Cargo.lock
+}
+trap cleanup EXIT
+
+python3 - <<'EOF'
+import re
+src = open('Cargo.toml').read()
+stubs = {
+    'rand': 'rand = { path = ".typecheck/stubs/rand", default-features = false, features = ["std", "std_rng", "small_rng"] }',
+    'rayon': 'rayon = { path = ".typecheck/stubs/rayon" }',
+    'proptest': 'proptest = { path = ".typecheck/stubs/proptest" }',
+    'criterion': 'criterion = { path = ".typecheck/stubs/criterion", default-features = false, features = ["plotters", "cargo_bench_support"] }',
+    'serde': 'serde = { path = ".typecheck/stubs/serde", features = ["derive"] }',
+}
+out = []
+for line in src.splitlines():
+    name = line.split('=')[0].strip()
+    out.append(stubs.get(name, line))
+open('Cargo.toml', 'w').write('\n'.join(out) + '\n')
+EOF
+
+if [ $# -gt 0 ]; then
+  cargo "$@"
+  status=$?
+else
+  cargo check --workspace --bins --examples &&
+    cargo check -p cualign --test pipeline_integration \
+      --test crosscrate_invariants --test gpusim_consistency \
+      --test session_cache &&
+    cargo check -p cualign-bench --benches
+  status=$?
+fi
+exit $status

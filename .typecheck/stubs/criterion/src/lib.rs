@@ -1,0 +1,106 @@
+//! Offline stand-in for `criterion` (typecheck harness only): enough API
+//! for the workspace benches to compile; `iter` runs the closure once.
+
+/// Benchmark-run context.
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one benchmark function once.
+    pub fn bench_function<F>(&mut self, _id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        f(&mut Bencher);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion
+    }
+}
+
+/// Group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark once.
+    pub fn bench_function<I, F>(&mut self, _id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        f(&mut Bencher);
+        self
+    }
+
+    /// Runs one parameterized benchmark once.
+    pub fn bench_with_input<I, P, F>(&mut self, _id: I, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        f(&mut Bencher, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs the routine once (no timing).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+/// Benchmark identifier.
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    /// Builds an id from a name and parameter.
+    pub fn new<P: std::fmt::Display>(_name: &str, _param: P) -> Self {
+        BenchmarkId
+    }
+}
+
+/// Identity function mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group (stub: plain functions).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `rand` crate, used only by the
+//! `.typecheck/check.sh` harness in environments without a crates.io
+//! mirror. API-compatible with the subset of rand 0.8 this workspace
+//! uses; the generator is a deterministic splitmix64.
+
+pub use distributions::{Distribution, Standard, Uniform};
+
+/// Core RNG interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods (blanket-implemented like rand's `Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::SampleUniform,
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 stand-in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            super::splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0x5d4c_9f31_7b3a_11e7 }
+        }
+    }
+
+    /// Same engine under the `SmallRng` name.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            super::splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed ^ 0x1234_5678_9abc_def0 }
+        }
+    }
+}
+
+/// Distributions and uniform sampling.
+pub mod distributions {
+    use super::Rng;
+
+    /// A sampling distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution per type (uniform bits / [0,1) floats).
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types uniformly sampleable in a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform draw in `[low, high)`.
+        fn sample_in<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "empty range in gen_range");
+                    let span = (high as u128).wrapping_sub(low as u128);
+                    low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_in<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            assert!(low < high, "empty range in gen_range");
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            low + u * (high - low)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_in<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            assert!(low < high, "empty range in gen_range");
+            let u = ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32);
+            low + u * (high - low)
+        }
+    }
+
+    /// Ranges acceptable to `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_in(self.start, self.end, rng)
+        }
+    }
+
+    impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+            usize::sample_in(*self.start(), *self.end() + 1, rng)
+        }
+    }
+
+    impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+            u64::sample_in(*self.start(), *self.end() + 1, rng)
+        }
+    }
+
+    impl SampleRange<u32> for std::ops::RangeInclusive<u32> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> u32 {
+            u32::sample_in(*self.start(), *self.end() + 1, rng)
+        }
+    }
+
+    impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+            f64::sample_in(*self.start(), *self.end() + f64::EPSILON, rng)
+        }
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: X, high: X) -> Self {
+            Uniform { low, high }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: X, high: X) -> Self {
+            Uniform { low, high }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> X {
+            X::sample_in(self.low, self.high, rng)
+        }
+    }
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffle / choose on slices, mirroring rand's `SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on empty slices.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}

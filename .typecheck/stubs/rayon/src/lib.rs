@@ -1,0 +1,118 @@
+//! Offline stand-in for `rayon`, used only by the `.typecheck/check.sh`
+//! harness. Every `par_*` entry point delegates to the sequential std
+//! iterator with the same semantics, so code type-checks (and runs,
+//! single-threaded) without the real crate.
+
+/// Sequential version of `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Drop-in traits mirroring `rayon::prelude`.
+pub mod prelude {
+    /// `par_iter` / `par_chunks` on slices (sequential here).
+    pub trait ParSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    /// Mutable parallel-slice methods (sequential here).
+    pub trait ParSliceMut<T> {
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Sequential stand-in for `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Sequential stand-in for `par_sort_unstable_by`.
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering;
+    }
+
+    impl<T> ParSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable()
+        }
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.sort_unstable_by(compare)
+        }
+    }
+
+    /// Rayon-only combinators, mapped onto their sequential equivalents.
+    pub trait ParIterExt: Iterator + Sized {
+        /// Sequential stand-in for `flat_map_iter`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// No-op stand-in for `with_min_len`.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// No-op stand-in for `with_max_len`.
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+
+        /// Sequential stand-in for `collect_into_vec`.
+        fn collect_into_vec(self, target: &mut Vec<Self::Item>) {
+            target.clear();
+            target.extend(self);
+        }
+    }
+
+    impl<I: Iterator> ParIterExt for I {}
+
+    /// `into_par_iter` for any owned iterable (sequential here).
+    pub trait IntoParIter {
+        /// Item type.
+        type Item;
+        /// Underlying iterator type.
+        type IntoIter: Iterator<Item = Self::Item>;
+        /// Sequential stand-in for `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter;
+    }
+
+    impl<I: IntoIterator> IntoParIter for I {
+        type Item = I::Item;
+        type IntoIter = I::IntoIter;
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+}

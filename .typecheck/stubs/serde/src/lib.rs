@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde` (typecheck harness only): real trait
+//! names, no-op derives.
+
+pub use serde_stub_derive::{Deserialize, Serialize};
+
+/// No-op stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// No-op stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

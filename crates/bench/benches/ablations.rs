@@ -15,10 +15,17 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
 
     // Fusion: same update, one pass vs two.
-    let h = HarnessConfig { scale: 0.15, bp_iters: 1, seed: 1 };
+    let h = HarnessConfig {
+        scale: 0.15,
+        bp_iters: 1,
+        seed: 1,
+    };
     let p = prepare_instance(&h, PaperInput::FlyY2h1, 0.025);
     for fused in [true, false] {
-        let cfg = BpConfig { fused, ..Default::default() };
+        let cfg = BpConfig {
+            fused,
+            ..Default::default()
+        };
         let name = if fused { "fused" } else { "unfused" };
         group.bench_function(BenchmarkId::new("f_dc_update", name), |b| {
             let mut e = BpEngine::new(&p.l, &p.s, &cfg);
@@ -36,7 +43,11 @@ fn bench_ablations(c: &mut Criterion) {
         MatcherKind::Greedy,
         MatcherKind::Suitor,
     ] {
-        let cfg = BpConfig { matcher, max_iters: 1, ..Default::default() };
+        let cfg = BpConfig {
+            matcher,
+            max_iters: 1,
+            ..Default::default()
+        };
         group.bench_function(BenchmarkId::new("rounding", format!("{matcher:?}")), |b| {
             let mut e = BpEngine::new(&p.l, &p.s, &cfg);
             e.iterate();
@@ -47,7 +58,10 @@ fn bench_ablations(c: &mut Criterion) {
     // Damping schedule: identical per-iteration cost, benched to confirm
     // the schedule knob is free.
     for damping in [DampingSchedule::PowerDecay, DampingSchedule::Constant] {
-        let cfg = BpConfig { damping, ..Default::default() };
+        let cfg = BpConfig {
+            damping,
+            ..Default::default()
+        };
         group.bench_function(BenchmarkId::new("damping", format!("{damping:?}")), |b| {
             let mut e = BpEngine::new(&p.l, &p.s, &cfg);
             b.iter(|| {

@@ -11,10 +11,17 @@ fn bench_bp(c: &mut Criterion) {
     let mut group = c.benchmark_group("bp_iteration");
     group.sample_size(10);
     for (label, scale) in [("small", 0.05), ("medium", 0.15)] {
-        let h = HarnessConfig { scale, bp_iters: 1, seed: 1 };
+        let h = HarnessConfig {
+            scale,
+            bp_iters: 1,
+            seed: 1,
+        };
         let p = prepare_instance(&h, PaperInput::FlyY2h1, 0.025);
         for fused in [true, false] {
-            let cfg = BpConfig { fused, ..Default::default() };
+            let cfg = BpConfig {
+                fused,
+                ..Default::default()
+            };
             let name = format!("{label}/{}", if fused { "fused" } else { "unfused" });
             group.bench_with_input(BenchmarkId::new("iterate", name), &cfg, |bench, cfg| {
                 let mut engine = BpEngine::new(&p.l, &p.s, cfg);

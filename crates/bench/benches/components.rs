@@ -12,12 +12,19 @@ use cualign_sparsify::build_alignment_graph;
 use std::hint::black_box;
 
 fn bench_components(c: &mut Criterion) {
-    let h = HarnessConfig { scale: 0.1, bp_iters: 1, seed: 1 };
+    let h = HarnessConfig {
+        scale: 0.1,
+        bp_iters: 1,
+        seed: 1,
+    };
     let p = prepare_instance(&h, PaperInput::FlyY2h1, 0.025);
     let mut group = c.benchmark_group("components");
     group.sample_size(10);
 
-    let spec = SpectralConfig { dim: 64, ..Default::default() };
+    let spec = SpectralConfig {
+        dim: 64,
+        ..Default::default()
+    };
     group.bench_function("spectral_embedding", |b| {
         b.iter(|| black_box(spectral_embedding(&p.a, &spec).rows()))
     });
@@ -25,8 +32,17 @@ fn bench_components(c: &mut Criterion) {
     let y1 = spec_embed(&p, 0);
     let y2 = spec_embed(&p, 1);
     group.bench_function("subspace_align", |b| {
-        let cfg = SubspaceAlignConfig { anchors: 256, ..Default::default() };
-        b.iter(|| black_box(align_subspaces(&y1, &y2, &p.a, &p.b, &cfg).round_costs.len()))
+        let cfg = SubspaceAlignConfig {
+            anchors: 256,
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(
+                align_subspaces(&y1, &y2, &p.a, &p.b, &cfg)
+                    .round_costs
+                    .len(),
+            )
+        })
     });
 
     group.bench_function("knn_sparsify", |b| {
@@ -55,7 +71,11 @@ fn bench_components(c: &mut Criterion) {
 }
 
 fn spec_embed(p: &cualign_bench::PreparedInstance, side: u8) -> cualign_linalg::DenseMatrix {
-    let cfg = SpectralConfig { dim: 64, seed: 0x57ec + side as u64, ..Default::default() };
+    let cfg = SpectralConfig {
+        dim: 64,
+        seed: 0x57ec + side as u64,
+        ..Default::default()
+    };
     if side == 0 {
         spectral_embedding(&p.a, &cfg)
     } else {

@@ -15,7 +15,11 @@ fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
     group.sample_size(10);
     for (label, scale) in [("small", 0.05), ("medium", 0.15)] {
-        let h = HarnessConfig { scale, bp_iters: 1, seed: 1 };
+        let h = HarnessConfig {
+            scale,
+            bp_iters: 1,
+            seed: 1,
+        };
         let p = prepare_instance(&h, PaperInput::HumanY2h1, 0.025);
         group.bench_function(BenchmarkId::new("locally_dominant_serial", label), |b| {
             b.iter(|| black_box(locally_dominant_serial(&p.l).len()))
@@ -31,7 +35,11 @@ fn bench_matching(c: &mut Criterion) {
         });
     }
     // The exact oracle is cubic; keep it tiny.
-    let h = HarnessConfig { scale: 0.02, bp_iters: 1, seed: 1 };
+    let h = HarnessConfig {
+        scale: 0.02,
+        bp_iters: 1,
+        seed: 1,
+    };
     let p = prepare_instance(&h, PaperInput::Synthetic4000, 0.05);
     group.bench_function("hungarian/tiny", |b| {
         b.iter(|| black_box(hungarian_matching(&p.l).len()))

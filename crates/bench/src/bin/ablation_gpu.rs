@@ -26,9 +26,31 @@ fn main() {
     let variants: [(&str, ExecConfig, bool); 6] = [
         ("all-on", ExecConfig::optimized(), true),
         ("no-fusion", ExecConfig::optimized(), false),
-        ("no-streams", ExecConfig { streams: false, ..ExecConfig::optimized() }, true),
-        ("no-vwarps", ExecConfig { virtual_warps: false, ..ExecConfig::optimized() }, true),
-        ("no-binning", ExecConfig { binning: false, virtual_warps: false, ..ExecConfig::optimized() }, true),
+        (
+            "no-streams",
+            ExecConfig {
+                streams: false,
+                ..ExecConfig::optimized()
+            },
+            true,
+        ),
+        (
+            "no-vwarps",
+            ExecConfig {
+                virtual_warps: false,
+                ..ExecConfig::optimized()
+            },
+            true,
+        ),
+        (
+            "no-binning",
+            ExecConfig {
+                binning: false,
+                virtual_warps: false,
+                ..ExecConfig::optimized()
+            },
+            true,
+        ),
         ("naive", ExecConfig::naive(), false),
     ];
 

@@ -5,18 +5,30 @@
 //! candidate edges mislead the heuristic), and Synthetic_8000 @ 25% does
 //! not finish — reproduced here by the projected-size DNF rule.
 //!
+//! The sweep runs on one [`cualign::AlignmentSession`] per input, so the
+//! five densities share one embedding + subspace build. Set
+//! `CUALIGN_ONESHOT=1` to force the old one-shot-per-cell path instead
+//! (useful for before/after timing of the session cache).
+//!
 //! ```text
 //! cargo run --release -p cualign-bench --bin fig4
 //! ```
 
 use cualign::PaperInput;
-use cualign_bench::{sweep_densities, HarnessConfig, DENSITY_GRID};
+use cualign_bench::json::JsonRecord;
+use cualign_bench::{run_cell, sweep_densities, HarnessConfig, DENSITY_GRID};
 
 fn main() {
     let h = HarnessConfig::from_env();
+    let oneshot = std::env::var("CUALIGN_ONESHOT")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     println!(
-        "Figure 4: NCV-GS3 vs density (scale = {}, bp_iters = {}, seed = {})\n",
-        h.scale, h.bp_iters, h.seed
+        "Figure 4: NCV-GS3 vs density (scale = {}, bp_iters = {}, seed = {}{})\n",
+        h.scale,
+        h.bp_iters,
+        h.seed,
+        if oneshot { ", one-shot mode" } else { "" }
     );
     print!("{:<16}", "Network");
     for d in DENSITY_GRID {
@@ -24,15 +36,55 @@ fn main() {
     }
     println!();
     println!("{}", "-".repeat(16 + 9 * DENSITY_GRID.len()));
+    let mut records = Vec::new();
     for input in PaperInput::all() {
         print!("{:<16}", input.name());
-        for cell in sweep_densities(&h, input, &DENSITY_GRID) {
-            match cell.result {
-                Some(m) => print!(" {:>8.4}", m.quality),
-                None => print!(" {:>8}", "DNF"),
+        if oneshot {
+            // Pre-session behavior: every cell pays the full pipeline.
+            for density in DENSITY_GRID {
+                let (quality, _, total_s) = run_cell(&h, input, density);
+                print!(" {:>8.4}", quality);
+                records.push(
+                    JsonRecord::new()
+                        .str("figure", "fig4")
+                        .str("input", input.name())
+                        .num("density", density)
+                        .num("quality", quality)
+                        .num("total_s", total_s)
+                        .int("cache_hits", 0)
+                        .finish(),
+                );
+            }
+        } else {
+            for cell in sweep_densities(&h, input, &DENSITY_GRID) {
+                let rec = JsonRecord::new()
+                    .str("figure", "fig4")
+                    .str("input", input.name())
+                    .num("density", cell.density);
+                match cell.result {
+                    Some(m) => {
+                        print!(" {:>8.4}", m.quality);
+                        records.push(
+                            rec.num("quality", m.quality)
+                                .num("optimize_s", m.optimize_s)
+                                .int("l_edges", m.l_edges)
+                                .int("s_nnz", m.s_nnz)
+                                .int("cache_hits", m.cache_hits)
+                                .finish(),
+                        );
+                    }
+                    None => {
+                        print!(" {:>8}", "DNF");
+                        records.push(rec.null("quality").str("status", "dnf").finish());
+                    }
+                }
             }
         }
         println!();
     }
     println!("\nExpected shape (paper): quality flat-to-decreasing in density; best at ≤ 2.5%.");
+    println!();
+    for r in records {
+        println!("{r}");
+    }
 }

@@ -2,13 +2,17 @@
 //! the optimization phase for each input at each density.
 //!
 //! The paper's finding: runtime grows steeply (super-linearly) with
-//! density — sparsification buys time as well as quality.
+//! density — sparsification buys time as well as quality. The sweep runs
+//! on one [`cualign::AlignmentSession`] per input, so the reported times
+//! isolate the per-density work (overlap + BP) exactly: the shared
+//! embedding + subspace build is cached, not re-timed into every cell.
 //!
 //! ```text
 //! cargo run --release -p cualign-bench --bin fig5
 //! ```
 
 use cualign::PaperInput;
+use cualign_bench::json::JsonRecord;
 use cualign_bench::{sweep_densities, HarnessConfig, DENSITY_GRID};
 
 fn main() {
@@ -23,15 +27,36 @@ fn main() {
     }
     println!();
     println!("{}", "-".repeat(16 + 10 * DENSITY_GRID.len()));
+    let mut records = Vec::new();
     for input in PaperInput::all() {
         print!("{:<16}", input.name());
         for cell in sweep_densities(&h, input, &DENSITY_GRID) {
+            let rec = JsonRecord::new()
+                .str("figure", "fig5")
+                .str("input", input.name())
+                .num("density", cell.density);
             match cell.result {
-                Some(m) => print!(" {:>9.3}", m.optimize_s),
-                None => print!(" {:>9}", "DNF"),
+                Some(m) => {
+                    print!(" {:>9.3}", m.optimize_s);
+                    records.push(
+                        rec.num("optimize_s", m.optimize_s)
+                            .int("l_edges", m.l_edges)
+                            .int("s_nnz", m.s_nnz)
+                            .int("cache_hits", m.cache_hits)
+                            .finish(),
+                    );
+                }
+                None => {
+                    print!(" {:>9}", "DNF");
+                    records.push(rec.null("optimize_s").str("status", "dnf").finish());
+                }
             }
         }
         println!();
     }
     println!("\nExpected shape (paper, log2 y-axis): time rises steeply with density.");
+    println!();
+    for r in records {
+        println!("{r}");
+    }
 }

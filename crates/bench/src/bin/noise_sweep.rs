@@ -7,11 +7,16 @@
 //! noise levels and sparsifiers. BP's advantage should *grow* with noise
 //! (direct rounding degrades faster than overlap-guided refinement).
 //!
+//! Per (input, noise) instance, one [`AlignmentSession`] serves all three
+//! methods: cuAlign aligns, cone-align rounds the cached `L`, and the
+//! mutual-kNN variant re-sparsifies on the cached embeddings.
+//!
 //! ```text
 //! cargo run --release -p cualign-bench --bin noise_sweep
 //! ```
 
-use cualign::{cone_align, Aligner, PaperInput, SparsityChoice};
+use cualign::{cone_align_session, AlignmentSession, PaperInput, SparsityChoice};
+use cualign_bench::json::JsonRecord;
 use cualign_bench::HarnessConfig;
 use cualign_graph::noise::rewire;
 use cualign_graph::Permutation;
@@ -32,6 +37,7 @@ fn main() {
         "Network", "noise", "cuAlign", "cone", "delta", "mutual-kNN"
     );
     println!("{}", "-".repeat(72));
+    let mut records = Vec::new();
     for input in [PaperInput::FlyY2h1, PaperInput::Synthetic4000] {
         for noise_pct in [0.0, 0.05, 0.10, 0.20] {
             let a = h.generate(input);
@@ -40,19 +46,23 @@ fn main() {
             let b = rewire(&p.apply_to_graph(&a), noise_pct, &mut rng);
 
             let cfg = h.aligner_config(density);
-            let cu = Aligner::new(cfg.clone()).align(&a, &b);
-            let cone = cone_align(&a, &b, &cfg);
+            let k = cfg.resolve_k(a.num_vertices(), b.num_vertices());
+            let mut session =
+                AlignmentSession::new(&a, &b, cfg).expect("harness instances are non-degenerate");
+            let cu = session.align().expect("grid density yields non-empty L");
+            let cone = cone_align_session(&mut session).expect("L is cached and non-empty");
             let delta = if cone.scores.ncv_gs3 > 0.0 {
                 100.0 * (cu.scores.ncv_gs3 - cone.scores.ncv_gs3) / cone.scores.ncv_gs3
             } else {
                 0.0
             };
 
-            // The future-work sparsifier on the same instance.
-            let mut mutual_cfg = cfg.clone();
-            mutual_cfg.sparsity =
-                SparsityChoice::MutualK(cfg.resolve_k(a.num_vertices(), b.num_vertices()));
-            let mutual = Aligner::new(mutual_cfg).align(&a, &b);
+            // The future-work sparsifier on the same embeddings (the
+            // session re-sparsifies, but reuses the cached front half).
+            session
+                .update_config(|c| c.sparsity = SparsityChoice::MutualK(k))
+                .expect("k >= 1");
+            let mutual = session.align().expect("mutual-kNN yields non-empty L");
 
             println!(
                 "{:<16} {:>6.0}% | {:>9.4} {:>9.4} {:>+7.1}% | {:>10.4}",
@@ -63,8 +73,25 @@ fn main() {
                 delta,
                 mutual.scores.ncv_gs3
             );
+            records.push(
+                JsonRecord::new()
+                    .str("figure", "noise_sweep")
+                    .str("input", input.name())
+                    .num("noise", noise_pct)
+                    .num("density", density)
+                    .num("cualign", cu.scores.ncv_gs3)
+                    .num("cone", cone.scores.ncv_gs3)
+                    .num("delta_pct", delta)
+                    .num("mutual_knn", mutual.scores.ncv_gs3)
+                    .int("cache_hits", mutual.timings.cache_hits)
+                    .finish(),
+            );
         }
     }
     println!("\nExpected shape: cuAlign's delta over cone-align grows with noise;");
     println!("mutual-kNN trades coverage for precision on noisy instances.");
+    println!();
+    for r in records {
+        println!("{r}");
+    }
 }

@@ -11,7 +11,10 @@ use cualign_graph::stats::{degree_stats, global_clustering};
 
 fn main() {
     let h = HarnessConfig::from_env();
-    println!("Table 1: input graphs (scale = {}, seed = {})\n", h.scale, h.seed);
+    println!(
+        "Table 1: input graphs (scale = {}, seed = {})\n",
+        h.scale, h.seed
+    );
     println!(
         "{:<16} {:>9} {:>9} | {:>9} {:>9} {:>8} {:>8} {:>10}",
         "Network", "paper |V|", "paper |E|", "|V|", "|E|", "max deg", "mean", "clustering"
@@ -32,5 +35,7 @@ fn main() {
             global_clustering(&g)
         );
     }
-    println!("\n(paper columns are Table 1's listed sizes; the right half is the generated stand-in)");
+    println!(
+        "\n(paper columns are Table 1's listed sizes; the right half is the generated stand-in)"
+    );
 }

@@ -43,7 +43,10 @@ fn main() {
     println!("{}", "-".repeat(110));
     for input in PaperInput::all() {
         let p = prepare_instance(&h, input, density);
-        let cfg = BpConfig { max_iters: h.bp_iters, ..Default::default() };
+        let cfg = BpConfig {
+            max_iters: h.bp_iters,
+            ..Default::default()
+        };
         let row = table2_row(&p.l, &p.s, &cfg, &ExecConfig::optimized());
 
         // Measured wall-clock of the reference BP phase on this host

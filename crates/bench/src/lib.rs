@@ -16,6 +16,11 @@
 //! Criterion microbenches (`benches/`) cover the component kernels and
 //! the CPU-side ablations.
 //!
+//! All sweep drivers run on [`cualign::AlignmentSession`]: a k-point
+//! sweep pays the run-once initialization (embedding + subspace) once,
+//! and every emitted record carries the per-run `cache_hits` count so
+//! the JSON shows which stages were reused.
+//!
 //! ## Scaling
 //!
 //! The paper's testbed was a 64-core EPYC + A100; reproduction
@@ -28,13 +33,11 @@
 
 #![warn(missing_docs)]
 
-use cualign::{Aligner, AlignerConfig, PaperInput, SparsityChoice};
-use cualign_embed::align_subspaces;
+use cualign::{Aligner, AlignerConfig, AlignmentSession, PaperInput, SparsityChoice};
 use cualign_graph::generators::with_edge_budget;
 use cualign_graph::permutation::AlignmentInstance;
 use cualign_graph::{BipartiteGraph, CsrGraph};
 use cualign_overlap::OverlapMatrix;
-use cualign_sparsify::build_alignment_graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -106,20 +109,29 @@ impl HarnessConfig {
             }
             _ => {
                 // Match the duplication–divergence density to the target.
-                let retain = (2.0 * m as f64 / (n as f64 * full.average_degree().max(1.0)))
-                    .clamp(0.3, 0.5);
+                let retain =
+                    (2.0 * m as f64 / (n as f64 * full.average_degree().max(1.0))).clamp(0.3, 0.5);
                 cualign_graph::generators::duplication_divergence(n, retain, 0.28, &mut rng)
             }
         };
         with_edge_budget(&base, m, &mut rng)
     }
 
-    /// The aligner configuration for a given density.
+    /// The aligner configuration for a given density, built through the
+    /// validating builder so a bad grid value fails loudly up front.
     pub fn aligner_config(&self, density: f64) -> AlignerConfig {
-        let mut cfg = AlignerConfig::default();
-        cfg.sparsity = SparsityChoice::Density(density);
-        cfg.bp.max_iters = self.bp_iters;
-        cfg
+        AlignerConfig::builder()
+            .density(density)
+            .bp_iters(self.bp_iters)
+            .build()
+            .expect("harness density grid is in (0, 1]")
+    }
+
+    /// The ground-truthed `B = P(A)` instance for an input.
+    pub fn instance(&self, input: PaperInput) -> AlignmentInstance {
+        let a = self.generate(input);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e37).wrapping_add(17));
+        AlignmentInstance::permuted_pair(a, &mut rng)
     }
 }
 
@@ -137,18 +149,20 @@ pub struct PreparedInstance {
     pub s: OverlapMatrix,
 }
 
-/// Builds `B = P(A)` and runs the pipeline front half at `density`.
+/// Builds `B = P(A)` and runs the pipeline front half at `density`
+/// through a stage-cached session (the artifacts are cloned out so the
+/// result is self-contained).
 pub fn prepare_instance(h: &HarnessConfig, input: PaperInput, density: f64) -> PreparedInstance {
-    let a = h.generate(input);
-    let mut rng = StdRng::seed_from_u64(h.seed.wrapping_mul(0x9e37).wrapping_add(17));
-    let inst = AlignmentInstance::permuted_pair(a.clone(), &mut rng);
+    let inst = h.instance(input);
     let cfg = h.aligner_config(density);
-    let y1 = cfg.embedding.embed(&inst.a);
-    let y2 = cfg.embedding.with_seed_offset(1).embed(&inst.b);
-    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace);
-    let k = cfg.resolve_k(inst.a.num_vertices(), inst.b.num_vertices());
-    let l = build_alignment_graph(&sub.ya, &sub.yb, k);
-    let s = OverlapMatrix::build(&inst.a, &inst.b, &l);
+    let mut session =
+        AlignmentSession::new(&inst.a, &inst.b, cfg).expect("harness instances are non-degenerate");
+    let (l, s) = {
+        let (l, s) = session
+            .artifacts()
+            .expect("front half builds at grid densities");
+        (l.clone(), s.clone())
+    };
     PreparedInstance {
         a: inst.a.clone(),
         b: inst.b.clone(),
@@ -181,16 +195,12 @@ pub fn projected_nnz(a: &CsrGraph, b: &CsrGraph, density: f64) -> usize {
 /// One full cuAlign run at a density; returns `(NCV-GS3, optimize seconds,
 /// total seconds)`.
 pub fn run_cell(h: &HarnessConfig, input: PaperInput, density: f64) -> (f64, f64, f64) {
-    let a = h.generate(input);
-    let mut rng = StdRng::seed_from_u64(h.seed.wrapping_mul(0x9e37).wrapping_add(17));
-    let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+    let inst = h.instance(input);
     let cfg = h.aligner_config(density);
-    let r = Aligner::new(cfg).align(&inst.a, &inst.b);
-    (
-        r.scores.ncv_gs3,
-        r.timings.optimize_s,
-        r.timings.total_s(),
-    )
+    let r = Aligner::new(cfg)
+        .align(&inst.a, &inst.b)
+        .expect("harness instances are non-degenerate");
+    (r.scores.ncv_gs3, r.timings.optimize_s, r.timings.total_s())
 }
 
 /// One density-sweep cell's results.
@@ -215,56 +225,130 @@ pub struct SweepMeasurement {
     pub l_edges: usize,
     /// Nonzeros of `S` at this density.
     pub s_nnz: usize,
+    /// Pipeline stages served from the session cache for this cell
+    /// (embedding + subspace after the first cell).
+    pub cache_hits: usize,
 }
 
-/// Runs the density sweep for one input, computing the embedding and
-/// subspace alignment **once** and re-sparsifying per density — exactly
-/// the experiment of Figures 4–5 (embedding/sparsification are the
-/// run-once initialization of the framework, Fig. 2).
+/// Runs the density sweep for one input on one [`AlignmentSession`]: the
+/// embedding and subspace alignment are computed **once** and every
+/// density reuses them — exactly the experiment of Figures 4–5
+/// (embedding/sparsification are the run-once initialization of the
+/// framework, Fig. 2). Each cell's `cache_hits` records the reuse.
 pub fn sweep_densities(h: &HarnessConfig, input: PaperInput, densities: &[f64]) -> Vec<SweepCell> {
-    use cualign_bp::{BpConfig, BpEngine};
-    use std::time::Instant;
-
-    let a = h.generate(input);
-    let mut rng = StdRng::seed_from_u64(h.seed.wrapping_mul(0x9e37).wrapping_add(17));
-    let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-    let cfg = h.aligner_config(0.01);
-    let y1 = cfg.embedding.embed(&inst.a);
-    let y2 = cfg.embedding.with_seed_offset(0x9e3779b97f4a7c15).embed(&inst.b);
-    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace);
+    let inst = h.instance(input);
+    let mut session = AlignmentSession::new(&inst.a, &inst.b, h.aligner_config(0.01))
+        .expect("harness instances are non-degenerate");
 
     densities
         .iter()
         .map(|&density| {
             if projected_nnz(&inst.a, &inst.b, density) > DNF_NNZ_LIMIT {
-                return SweepCell { density, result: None };
+                return SweepCell {
+                    density,
+                    result: None,
+                };
             }
-            let k = cualign_sparsify::density_to_k(
-                inst.a.num_vertices(),
-                inst.b.num_vertices(),
-                density,
-            );
-            let l = build_alignment_graph(&sub.ya, &sub.yb, k);
-            let t = Instant::now();
-            let s = OverlapMatrix::build(&inst.a, &inst.b, &l);
-            let bp_cfg = BpConfig { max_iters: h.bp_iters, ..Default::default() };
-            let out = BpEngine::new(&l, &s, &bp_cfg).run();
-            let optimize_s = t.elapsed().as_secs_f64();
-            let mapping: Vec<Option<cualign_graph::VertexId>> = (0..inst.a.num_vertices())
-                .map(|u| out.best_matching.mate_of_a(u as cualign_graph::VertexId))
-                .collect();
-            let scores = cualign::score_alignment(&inst.a, &inst.b, &mapping);
+            session
+                .update_config(|c| c.sparsity = SparsityChoice::Density(density))
+                .expect("grid densities are in (0, 1]");
+            let r = session.align().expect("grid densities yield non-empty L");
             SweepCell {
                 density,
                 result: Some(SweepMeasurement {
-                    quality: scores.ncv_gs3,
-                    optimize_s,
-                    l_edges: l.num_edges(),
-                    s_nnz: s.nnz(),
+                    quality: r.scores.ncv_gs3,
+                    optimize_s: r.timings.overlap_s + r.timings.optimize_s,
+                    l_edges: r.l_edges,
+                    s_nnz: r.s_nnz,
+                    cache_hits: r.timings.cache_hits,
                 }),
             }
         })
         .collect()
+}
+
+/// Minimal flat-record JSON emission for the figure binaries, so sweep
+/// results are machine-readable alongside the human tables. Kept
+/// dependency-free on purpose (records are flat key → scalar maps).
+pub mod json {
+    use std::fmt::Write;
+
+    /// Builder for one JSON object, emitted as a single line.
+    #[derive(Clone, Debug, Default)]
+    pub struct JsonRecord {
+        buf: String,
+    }
+
+    fn escape_into(buf: &mut String, s: &str) {
+        for c in s.chars() {
+            match c {
+                '"' => buf.push_str("\\\""),
+                '\\' => buf.push_str("\\\\"),
+                '\n' => buf.push_str("\\n"),
+                '\t' => buf.push_str("\\t"),
+                '\r' => buf.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(buf, "\\u{:04x}", c as u32);
+                }
+                c => buf.push(c),
+            }
+        }
+    }
+
+    impl JsonRecord {
+        /// Starts an empty record.
+        pub fn new() -> Self {
+            JsonRecord::default()
+        }
+
+        fn key(&mut self, k: &str) {
+            if !self.buf.is_empty() {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(&mut self.buf, k);
+            self.buf.push_str("\":");
+        }
+
+        /// Adds a string field.
+        pub fn str(mut self, k: &str, v: &str) -> Self {
+            self.key(k);
+            self.buf.push('"');
+            escape_into(&mut self.buf, v);
+            self.buf.push('"');
+            self
+        }
+
+        /// Adds a float field (`null` for non-finite values).
+        pub fn num(mut self, k: &str, v: f64) -> Self {
+            self.key(k);
+            if v.is_finite() {
+                let _ = write!(self.buf, "{v}");
+            } else {
+                self.buf.push_str("null");
+            }
+            self
+        }
+
+        /// Adds an integer field.
+        pub fn int(mut self, k: &str, v: usize) -> Self {
+            self.key(k);
+            let _ = write!(self.buf, "{v}");
+            self
+        }
+
+        /// Adds an explicit `null` field (e.g. a DNF cell).
+        pub fn null(mut self, k: &str) -> Self {
+            self.key(k);
+            self.buf.push_str("null");
+            self
+        }
+
+        /// Closes the record into one `{...}` line.
+        pub fn finish(self) -> String {
+            format!("{{{}}}", self.buf)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -272,8 +356,29 @@ mod tests {
     use super::*;
 
     #[test]
+    fn json_records_are_well_formed() {
+        let line = json::JsonRecord::new()
+            .str("figure", "fig4")
+            .str("input", "Fly \"Y2H\"")
+            .num("density", 0.025)
+            .num("dnf", f64::NAN)
+            .int("cache_hits", 3)
+            .null("skipped")
+            .finish();
+        assert_eq!(
+            line,
+            "{\"figure\":\"fig4\",\"input\":\"Fly \\\"Y2H\\\"\",\"density\":0.025,\
+             \"dnf\":null,\"cache_hits\":3,\"skipped\":null}"
+        );
+    }
+
+    #[test]
     fn scaled_inputs_keep_average_degree() {
-        let h = HarnessConfig { scale: 0.25, bp_iters: 5, seed: 1 };
+        let h = HarnessConfig {
+            scale: 0.25,
+            bp_iters: 5,
+            seed: 1,
+        };
         for input in PaperInput::all() {
             let g = h.generate(input);
             let full_deg = 2.0 * input.edges() as f64 / input.vertices() as f64;
@@ -287,7 +392,11 @@ mod tests {
 
     #[test]
     fn full_scale_matches_table1_exactly() {
-        let h = HarnessConfig { scale: 1.0, bp_iters: 5, seed: 1 };
+        let h = HarnessConfig {
+            scale: 1.0,
+            bp_iters: 5,
+            seed: 1,
+        };
         let g = h.generate(PaperInput::Synthetic4000);
         assert_eq!(g.num_vertices(), 4000);
         assert_eq!(g.num_edges(), 11996);
@@ -295,7 +404,11 @@ mod tests {
 
     #[test]
     fn prepared_instance_is_consistent() {
-        let h = HarnessConfig { scale: 0.05, bp_iters: 3, seed: 2 };
+        let h = HarnessConfig {
+            scale: 0.05,
+            bp_iters: 3,
+            seed: 2,
+        };
         let p = prepare_instance(&h, PaperInput::Synthetic4000, 0.025);
         p.l.check_invariants().unwrap();
         p.s.check_invariants().unwrap();
@@ -305,10 +418,35 @@ mod tests {
 
     #[test]
     fn projection_grows_with_density() {
-        let h = HarnessConfig { scale: 0.1, bp_iters: 3, seed: 1 };
+        let h = HarnessConfig {
+            scale: 0.1,
+            bp_iters: 3,
+            seed: 1,
+        };
         let g = h.generate(PaperInput::FlyY2h1);
         let lo = projected_nnz(&g, &g, 0.01);
         let hi = projected_nnz(&g, &g, 0.10);
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn sweep_reuses_front_half_across_densities() {
+        let h = HarnessConfig {
+            scale: 0.03,
+            bp_iters: 3,
+            seed: 1,
+        };
+        let cells = sweep_densities(&h, PaperInput::Synthetic4000, &[0.01, 0.05, 0.10]);
+        let measured: Vec<_> = cells.iter().filter_map(|c| c.result).collect();
+        assert_eq!(measured.len(), 3);
+        // The first cell builds every stage; later cells reuse the
+        // embedding + subspace front half.
+        assert_eq!(measured[0].cache_hits, 0);
+        for m in &measured[1..] {
+            assert!(m.cache_hits >= 2, "front half not reused: {m:?}");
+        }
+        // Larger density ⇒ larger L and S.
+        assert!(measured[2].l_edges > measured[0].l_edges);
+        assert!(measured[2].s_nnz > measured[0].s_nnz);
     }
 }

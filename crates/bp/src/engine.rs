@@ -1,12 +1,11 @@
 //! The belief-propagation engine: message state, the damped iteration of
 //! Algorithm 2, and per-iteration rounding via approximate matching.
 
-use crate::othermax::{othermax_cols, othermax_rows};
 use crate::evaluate_matching;
+use crate::othermax::{othermax_cols, othermax_rows};
 use cualign_graph::BipartiteGraph;
 use cualign_matching::{
-    greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching,
-    Matching,
+    greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching, Matching,
 };
 use cualign_overlap::OverlapMatrix;
 use rayon::prelude::*;
@@ -87,6 +86,7 @@ pub struct IterationRecord {
 }
 
 /// Result of a BP run.
+#[derive(Clone, Debug)]
 pub struct BpOutcome {
     /// Best matching found over all iterations (`bestM`).
     pub best_matching: Matching,
@@ -136,7 +136,10 @@ impl<'a> BpEngine<'a> {
     /// non-positive `gamma` / zero iteration count at run time.
     pub fn new(l: &BipartiteGraph, s: &'a OverlapMatrix, cfg: &BpConfig) -> Self {
         assert_eq!(s.num_rows(), l.num_edges(), "S rows must index E_L");
-        assert!(cfg.gamma > 0.0 && cfg.gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(
+            cfg.gamma > 0.0 && cfg.gamma <= 1.0,
+            "gamma must be in (0, 1]"
+        );
         assert!(
             l.weights().iter().all(|w| w.is_finite()),
             "similarity weights must be finite: NaN/∞ would poison every message"
@@ -268,12 +271,15 @@ impl<'a> BpEngine<'a> {
             let dc = &self.dc;
             let f = &self.f;
             let sc_slices = split_rows(&mut self.sc, &offsets);
-            sc_slices.into_par_iter().enumerate().for_each(|(row, (start, srow))| {
-                let v = yc[row] + zc[row] - dc[row];
-                for (j, s) in srow.iter_mut().enumerate() {
-                    *s = v - f[start + j];
-                }
-            });
+            sc_slices
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(row, (start, srow))| {
+                    let v = yc[row] + zc[row] - dc[row];
+                    for (j, s) in srow.iter_mut().enumerate() {
+                        *s = v - f[start + j];
+                    }
+                });
         }
 
         // Damping (lines 14–16): the paper's γᵏ power decay, or constant γ.
@@ -335,7 +341,12 @@ impl<'a> BpEngine<'a> {
             let m0 = self.run_matcher();
             let (score, weight, overlaps) =
                 evaluate_matching(&self.w0, self.s, &m0, self.cfg.alpha, self.cfg.beta);
-            history.push(IterationRecord { iteration: 0, score, weight, overlaps });
+            history.push(IterationRecord {
+                iteration: 0,
+                score,
+                weight,
+                overlaps,
+            });
             Some((m0, score, weight, overlaps, 0))
         };
         for _ in 0..self.cfg.max_iters {
@@ -420,7 +431,10 @@ mod tests {
     fn bp_recovers_planted_alignment() {
         let (a, b, l, p) = planted_instance(40, 100, 4, 1);
         let s = OverlapMatrix::build(&a, &b, &l);
-        let cfg = BpConfig { max_iters: 30, ..Default::default() };
+        let cfg = BpConfig {
+            max_iters: 30,
+            ..Default::default()
+        };
         let out = BpEngine::new(&l, &s, &cfg).run();
         // The true alignment conserves all |E_A| edges; BP should conserve
         // most of them (weights alone carry no signal here).
@@ -444,18 +458,17 @@ mod tests {
         let (a, b, l, _) = planted_instance(30, 70, 5, 2);
         let s = OverlapMatrix::build(&a, &b, &l);
         let direct = locally_dominant_parallel(&l);
-        let (_, _, direct_overlaps) = (
-            0.0,
-            0.0,
-            {
-                let mut mask = vec![false; s.num_rows()];
-                for &e in direct.edge_ids() {
-                    mask[e as usize] = true;
-                }
-                s.count_matched_overlaps(&mask)
-            },
-        );
-        let cfg = BpConfig { max_iters: 25, ..Default::default() };
+        let (_, _, direct_overlaps) = (0.0, 0.0, {
+            let mut mask = vec![false; s.num_rows()];
+            for &e in direct.edge_ids() {
+                mask[e as usize] = true;
+            }
+            s.count_matched_overlaps(&mask)
+        });
+        let cfg = BpConfig {
+            max_iters: 25,
+            ..Default::default()
+        };
         let out = BpEngine::new(&l, &s, &cfg).run();
         assert!(
             out.best_overlaps > direct_overlaps,
@@ -469,8 +482,22 @@ mod tests {
     fn fused_and_unfused_are_identical() {
         let (a, b, l, _) = planted_instance(25, 60, 3, 3);
         let s = OverlapMatrix::build(&a, &b, &l);
-        let mut fused = BpEngine::new(&l, &s, &BpConfig { fused: true, ..Default::default() });
-        let mut unfused = BpEngine::new(&l, &s, &BpConfig { fused: false, ..Default::default() });
+        let mut fused = BpEngine::new(
+            &l,
+            &s,
+            &BpConfig {
+                fused: true,
+                ..Default::default()
+            },
+        );
+        let mut unfused = BpEngine::new(
+            &l,
+            &s,
+            &BpConfig {
+                fused: false,
+                ..Default::default()
+            },
+        );
         for _ in 0..5 {
             fused.iterate();
             unfused.iterate();
@@ -510,7 +537,15 @@ mod tests {
     fn best_score_is_max_of_history() {
         let (a, b, l, _) = planted_instance(25, 55, 4, 6);
         let s = OverlapMatrix::build(&a, &b, &l);
-        let out = BpEngine::new(&l, &s, &BpConfig { max_iters: 15, ..Default::default() }).run();
+        let out = BpEngine::new(
+            &l,
+            &s,
+            &BpConfig {
+                max_iters: 15,
+                ..Default::default()
+            },
+        )
+        .run();
         let hist_max = out
             .history
             .iter()
@@ -530,13 +565,19 @@ mod tests {
         let o1 = BpEngine::new(
             &l,
             &s,
-            &BpConfig { matcher: MatcherKind::Serial, ..Default::default() },
+            &BpConfig {
+                matcher: MatcherKind::Serial,
+                ..Default::default()
+            },
         )
         .run();
         let o2 = BpEngine::new(
             &l,
             &s,
-            &BpConfig { matcher: MatcherKind::Parallel, ..Default::default() },
+            &BpConfig {
+                matcher: MatcherKind::Parallel,
+                ..Default::default()
+            },
         )
         .run();
         assert_eq!(o1.best_score, o2.best_score);
@@ -557,6 +598,13 @@ mod tests {
     fn rejects_bad_gamma() {
         let (a, b, l, _) = planted_instance(5, 6, 1, 8);
         let s = OverlapMatrix::build(&a, &b, &l);
-        let _ = BpEngine::new(&l, &s, &BpConfig { gamma: 0.0, ..Default::default() });
+        let _ = BpEngine::new(
+            &l,
+            &s,
+            &BpConfig {
+                gamma: 0.0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -22,8 +22,7 @@ use crate::engine::MatcherKind;
 use crate::evaluate_matching;
 use cualign_graph::BipartiteGraph;
 use cualign_matching::{
-    greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching,
-    Matching,
+    greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching, Matching,
 };
 use cualign_overlap::OverlapMatrix;
 
@@ -42,7 +41,12 @@ pub struct MrConfig {
 
 impl Default for MrConfig {
     fn default() -> Self {
-        MrConfig { alpha: 1.0, beta: 2.0, max_iters: 15, matcher: MatcherKind::Parallel }
+        MrConfig {
+            alpha: 1.0,
+            beta: 2.0,
+            max_iters: 15,
+            matcher: MatcherKind::Parallel,
+        }
     }
 }
 
@@ -120,7 +124,13 @@ pub fn mr_align(l: &BipartiteGraph, s: &OverlapMatrix, cfg: &MrConfig) -> MrOutc
         current = next;
     }
 
-    MrOutcome { best_matching, best_score, best_overlaps, history, converged_at }
+    MrOutcome {
+        best_matching,
+        best_score,
+        best_overlaps,
+        history,
+        converged_at,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +142,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn planted(n: usize, decoys: usize, seed: u64) -> (CsrGraph, CsrGraph, BipartiteGraph, Permutation) {
+    fn planted(
+        n: usize,
+        decoys: usize,
+        seed: u64,
+    ) -> (CsrGraph, CsrGraph, BipartiteGraph, Permutation) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = erdos_renyi_gnm(n, n * 5 / 2, &mut rng);
         let p = Permutation::random(n, &mut rng);
@@ -144,7 +158,12 @@ mod tests {
                 triples.push((i, rng.gen_range(0..n as VertexId), 0.5));
             }
         }
-        (a, b.clone(), BipartiteGraph::from_weighted_edges(n, n, &triples), p)
+        (
+            a,
+            b.clone(),
+            BipartiteGraph::from_weighted_edges(n, n, &triples),
+            p,
+        )
     }
 
     #[test]
@@ -166,8 +185,18 @@ mod tests {
     fn mr_converges_to_a_fixed_point() {
         let (a, b, l, _) = planted(30, 3, 2);
         let s = OverlapMatrix::build(&a, &b, &l);
-        let out = mr_align(&l, &s, &MrConfig { max_iters: 50, ..Default::default() });
-        assert!(out.converged_at.is_some(), "no fixed point in 50 iterations");
+        let out = mr_align(
+            &l,
+            &s,
+            &MrConfig {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
+        assert!(
+            out.converged_at.is_some(),
+            "no fixed point in 50 iterations"
+        );
     }
 
     #[test]
@@ -182,7 +211,15 @@ mod tests {
             let (a, b, l, _) = planted(35, 4, 10 + seed);
             let s = OverlapMatrix::build(&a, &b, &l);
             let mr = mr_align(&l, &s, &MrConfig::default());
-            let bp = BpEngine::new(&l, &s, &BpConfig { max_iters: 15, ..Default::default() }).run();
+            let bp = BpEngine::new(
+                &l,
+                &s,
+                &BpConfig {
+                    max_iters: 15,
+                    ..Default::default()
+                },
+            )
+            .run();
             total += 1;
             if bp.best_score >= mr.best_score - 1e-9 {
                 bp_wins += 1;
@@ -211,6 +248,13 @@ mod tests {
     fn rejects_zero_iters() {
         let (a, b, l, _) = planted(8, 1, 4);
         let s = OverlapMatrix::build(&a, &b, &l);
-        let _ = mr_align(&l, &s, &MrConfig { max_iters: 0, ..Default::default() });
+        let _ = mr_align(
+            &l,
+            &s,
+            &MrConfig {
+                max_iters: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -96,10 +96,7 @@ fn othermax_side(l: &BipartiteGraph, side: Side, values: &[f64], out: &mut [f64]
                     }
                 }
             }
-            ids.iter()
-                .copied()
-                .zip(local)
-                .collect::<Vec<_>>()
+            ids.iter().copied().zip(local).collect::<Vec<_>>()
         })
         .collect();
     for (e, v) in updates {
@@ -182,7 +179,9 @@ mod tests {
             .map(|_| (rng.gen_range(0..15), rng.gen_range(0..15), 1.0))
             .collect();
         let l = BipartiteGraph::from_weighted_edges(15, 15, &triples);
-        let vals: Vec<f64> = (0..l.num_edges()).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+        let vals: Vec<f64> = (0..l.num_edges())
+            .map(|_| rng.gen::<f64>() * 4.0 - 2.0)
+            .collect();
         let mut fast = vec![0.0; vals.len()];
         othermax_rows(&l, &vals, &mut fast);
         // Naive recomputation.

@@ -139,7 +139,10 @@ pub fn exact_alignment(a: &CsrGraph, b: &CsrGraph) -> ExactResult {
         &mut best_score,
     );
     // A full search always finds some complete mapping; record it.
-    ExactResult { mapping: best, conserved: best_score }
+    ExactResult {
+        mapping: best,
+        conserved: best_score,
+    }
 }
 
 #[cfg(test)]

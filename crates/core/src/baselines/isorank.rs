@@ -38,7 +38,11 @@ pub struct IsoRankConfig {
 
 impl Default for IsoRankConfig {
     fn default() -> Self {
-        IsoRankConfig { alpha: 0.85, iterations: 12, top_k: 20 }
+        IsoRankConfig {
+            alpha: 0.85,
+            iterations: 12,
+            top_k: 20,
+        }
     }
 }
 
@@ -108,7 +112,10 @@ pub fn isorank_align_with_prior(
         }
         None => vec![1.0 / (na * nb) as f64; na * nb],
     };
-    let mut sim = SimBuffer { nb, data: h.clone() };
+    let mut sim = SimBuffer {
+        nb,
+        data: h.clone(),
+    };
 
     for _ in 0..cfg.iterations {
         // R'(u, v) = (1-α)·prior + α · Σ R(u', v') / (deg u' · deg v').
@@ -143,18 +150,24 @@ pub fn isorank_align_with_prior(
     // matters: IsoRank similarities are strongly degree-correlated, so a
     // one-sided top-k would have every A-vertex shortlist the same few
     // hub B's and leave half of both sides uncoverable.
-    let ka = if cfg.top_k == 0 { nb } else { cfg.top_k.min(nb) };
-    let kb = if cfg.top_k == 0 { na } else { cfg.top_k.min(na) };
+    let ka = if cfg.top_k == 0 {
+        nb
+    } else {
+        cfg.top_k.min(nb)
+    };
+    let kb = if cfg.top_k == 0 {
+        na
+    } else {
+        cfg.top_k.min(na)
+    };
     let mut triples: Vec<(VertexId, VertexId, f64)> = (0..na)
         .into_par_iter()
         .flat_map_iter(|u| {
-            let mut row: Vec<(f64, usize)> =
-                (0..nb).map(|v| (sim.get(u, v), v)).collect();
+            let mut row: Vec<(f64, usize)> = (0..nb).map(|v| (sim.get(u, v), v)).collect();
             row.select_nth_unstable_by(ka - 1, |x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
             row.truncate(ka);
-            row.into_iter().map(move |(w, v)| {
-                (u as VertexId, v as VertexId, w.max(f64::MIN_POSITIVE))
-            })
+            row.into_iter()
+                .map(move |(w, v)| (u as VertexId, v as VertexId, w.max(f64::MIN_POSITIVE)))
         })
         .collect();
     let b_side: Vec<(VertexId, VertexId, f64)> = (0..nb)
@@ -171,11 +184,15 @@ pub fn isorank_align_with_prior(
     triples.extend(b_side);
     let l = BipartiteGraph::from_weighted_edges(na, nb, &triples);
     let matching = locally_dominant_parallel(&l);
-    let mapping: Vec<Option<VertexId>> = (0..na)
-        .map(|u| matching.mate_of_a(u as VertexId))
-        .collect();
+    let mapping: Vec<Option<VertexId>> =
+        (0..na).map(|u| matching.mate_of_a(u as VertexId)).collect();
     let scores = score_alignment(a, b, &mapping);
-    IsoRankResult { matching, mapping, scores, support_edges: l.num_edges() }
+    IsoRankResult {
+        matching,
+        mapping,
+        scores,
+        support_edges: l.num_edges(),
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +211,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = erdos_renyi_gnm(40, 120, &mut rng);
         let r = isorank_align(&a, &a, &IsoRankConfig::default());
-        assert!(r.scores.ncv >= 0.45, "ncv collapsed entirely: {}", r.scores.ncv);
+        assert!(
+            r.scores.ncv >= 0.45,
+            "ncv collapsed entirely: {}",
+            r.scores.ncv
+        );
         assert!(r.scores.ncv <= 0.95, "degeneracy unexpectedly absent");
     }
 
@@ -220,7 +241,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let p = Permutation::random(3, &mut rng);
         let b = p.apply_to_graph(&a);
-        let r = isorank_align(&a, &b, &IsoRankConfig { top_k: 0, ..Default::default() });
+        let r = isorank_align(
+            &a,
+            &b,
+            &IsoRankConfig {
+                top_k: 0,
+                ..Default::default()
+            },
+        );
         // The middle vertex (the only degree-2 one) must map to the middle.
         let mid_a = (0..3u32).find(|&u| a.degree(u) == 2).unwrap();
         let mid_b = (0..3u32).find(|&v| b.degree(v) == 2).unwrap();
@@ -241,6 +269,13 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn rejects_bad_alpha() {
         let a = CsrGraph::from_edges(2, &[(0, 1)]);
-        let _ = isorank_align(&a, &a, &IsoRankConfig { alpha: 1.0, ..Default::default() });
+        let _ = isorank_align(
+            &a,
+            &a,
+            &IsoRankConfig {
+                alpha: 1.0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -88,29 +88,32 @@ pub fn seed_and_expand(
     let mut witness: HashMap<(VertexId, VertexId), usize> = HashMap::new();
     let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
 
-    let add_witnesses =
-        |u: VertexId,
-         v: VertexId,
-         mapping: &[Option<VertexId>],
-         image_used: &[bool],
-         witness: &mut HashMap<(VertexId, VertexId), usize>,
-         heap: &mut BinaryHeap<Cand>| {
-            // The promotion of (u, v) witnesses every (u', v') with
-            // u' ∈ N(u) unmapped, v' ∈ N(v) unused.
-            for &u2 in a.neighbors(u) {
-                if mapping[u2 as usize].is_some() {
+    let add_witnesses = |u: VertexId,
+                         v: VertexId,
+                         mapping: &[Option<VertexId>],
+                         image_used: &[bool],
+                         witness: &mut HashMap<(VertexId, VertexId), usize>,
+                         heap: &mut BinaryHeap<Cand>| {
+        // The promotion of (u, v) witnesses every (u', v') with
+        // u' ∈ N(u) unmapped, v' ∈ N(v) unused.
+        for &u2 in a.neighbors(u) {
+            if mapping[u2 as usize].is_some() {
+                continue;
+            }
+            for &v2 in b.neighbors(v) {
+                if image_used[v2 as usize] {
                     continue;
                 }
-                for &v2 in b.neighbors(v) {
-                    if image_used[v2 as usize] {
-                        continue;
-                    }
-                    let w = witness.entry((u2, v2)).or_insert(0);
-                    *w += 1;
-                    heap.push(Cand { witnesses: *w, u: u2, v: v2 });
-                }
+                let w = witness.entry((u2, v2)).or_insert(0);
+                *w += 1;
+                heap.push(Cand {
+                    witnesses: *w,
+                    u: u2,
+                    v: v2,
+                });
             }
-        };
+        }
+    };
 
     for &(u, v) in seeds {
         add_witnesses(u, v, &mapping, &image_used, &mut witness, &mut heap);
@@ -137,15 +140,16 @@ pub fn seed_and_expand(
     }
 
     let scores = score_alignment(a, b, &mapping);
-    SeedExpandResult { mapping, scores, expanded_pairs: expanded }
+    SeedExpandResult {
+        mapping,
+        scores,
+        expanded_pairs: expanded,
+    }
 }
 
 /// Derives seed pairs from ground truth (for experiments): the first
 /// `count` vertices' true images.
-pub fn truth_seeds(
-    truth: &cualign_graph::Permutation,
-    count: usize,
-) -> Vec<(VertexId, VertexId)> {
+pub fn truth_seeds(truth: &cualign_graph::Permutation, count: usize) -> Vec<(VertexId, VertexId)> {
     (0..count.min(truth.len()) as VertexId)
         .map(|u| (u, truth.apply(u)))
         .collect()
@@ -188,8 +192,18 @@ mod tests {
         let g = watts_strogatz(150, 6, 0.05, &mut rng);
         let inst = AlignmentInstance::permuted_pair(g, &mut rng);
         let seeds = truth_seeds(&inst.truth, 8);
-        let loose = seed_and_expand(&inst.a, &inst.b, &seeds, &SeedExpandConfig { min_witnesses: 1 });
-        let strict = seed_and_expand(&inst.a, &inst.b, &seeds, &SeedExpandConfig { min_witnesses: 3 });
+        let loose = seed_and_expand(
+            &inst.a,
+            &inst.b,
+            &seeds,
+            &SeedExpandConfig { min_witnesses: 1 },
+        );
+        let strict = seed_and_expand(
+            &inst.a,
+            &inst.b,
+            &seeds,
+            &SeedExpandConfig { min_witnesses: 3 },
+        );
         assert!(strict.expanded_pairs <= loose.expanded_pairs);
         // Stricter promotion is more precise among what it does align.
         if strict.expanded_pairs > 10 {
@@ -210,8 +224,13 @@ mod tests {
         let g = watts_strogatz(100, 6, 0.1, &mut rng);
         let inst = AlignmentInstance::permuted_pair(g, &mut rng);
         let seeds = truth_seeds(&inst.truth, 5);
-        let r = seed_and_expand(&inst.a, &inst.b, &seeds, &SeedExpandConfig { min_witnesses: 1 });
-        let mut seen = vec![false; 100];
+        let r = seed_and_expand(
+            &inst.a,
+            &inst.b,
+            &seeds,
+            &SeedExpandConfig { min_witnesses: 1 },
+        );
+        let mut seen = [false; 100];
         for m in r.mapping.iter().flatten() {
             assert!(!seen[*m as usize], "image {m} used twice");
             seen[*m as usize] = true;

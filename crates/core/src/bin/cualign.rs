@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cualign align --graph-a A.txt --graph-b B.txt [--density 0.025 | --k 10]
-//!               [--bp-iters 25] [--method cualign|cone|isorank]
+//!               [--bp-iters 25] [--dim 128] [--method cualign|cone|isorank]
 //!               [--output mapping.tsv]
 //! cualign stats --graph G.txt
 //! cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M
@@ -12,8 +12,8 @@
 //! Graphs are whitespace-separated edge lists (`# comments` allowed); the
 //! mapping output is one `u <TAB> v` pair per line.
 
-use cualign::{cone_align, isorank_align, Aligner, AlignerConfig, SparsityChoice};
 use cualign::baselines::isorank::IsoRankConfig;
+use cualign::{cone_align, isorank_align, AlignError, Aligner, AlignerConfig};
 use cualign_graph::{io, stats, CsrGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,7 +39,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--method cualign|cone|isorank] [--output OUT.tsv]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
+        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--method cualign|cone|isorank] [--output OUT.tsv]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
     );
     ExitCode::from(2)
 }
@@ -79,27 +79,42 @@ fn require<'m>(flags: &'m HashMap<String, String>, key: &str) -> Result<&'m str,
 }
 
 fn load(path: &str) -> Result<CsrGraph, String> {
-    io::load_edge_list(path).map_err(|e| format!("reading {path}: {e}"))
+    io::load_edge_list(path)
+        .map_err(|e| AlignError::Io {
+            path: path.to_string(),
+            reason: e.to_string(),
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// Builds the aligner configuration from CLI flags through the validating
+/// builder, so an out-of-range `--density 3.0` fails with a clean
+/// `invalid config:` diagnostic instead of an assert deep in a stage.
+fn config_from_flags(flags: &HashMap<String, String>) -> Result<AlignerConfig, String> {
+    let mut builder = AlignerConfig::builder();
+    if let Some(k) = flags.get("k") {
+        builder = builder.k(k.parse().map_err(|e| format!("--k: {e}"))?);
+    } else if let Some(d) = flags.get("density") {
+        builder = builder.density(d.parse().map_err(|e| format!("--density: {e}"))?);
+    }
+    if let Some(n) = flags.get("bp-iters") {
+        builder = builder.bp_iters(n.parse().map_err(|e| format!("--bp-iters: {e}"))?);
+    }
+    if let Some(dim) = flags.get("dim") {
+        builder = builder.embedding_dim(dim.parse().map_err(|e| format!("--dim: {e}"))?);
+    }
+    builder.build().map_err(|e| e.to_string())
 }
 
 fn cmd_align(flags: &HashMap<String, String>) -> Result<(), String> {
     let a = load(require(flags, "graph-a")?)?;
     let b = load(require(flags, "graph-b")?)?;
     let method = flags.get("method").map(|s| s.as_str()).unwrap_or("cualign");
-
-    let mut cfg = AlignerConfig::default();
-    if let Some(k) = flags.get("k") {
-        cfg.sparsity = SparsityChoice::K(k.parse().map_err(|e| format!("--k: {e}"))?);
-    } else if let Some(d) = flags.get("density") {
-        cfg.sparsity = SparsityChoice::Density(d.parse().map_err(|e| format!("--density: {e}"))?);
-    }
-    if let Some(n) = flags.get("bp-iters") {
-        cfg.bp.max_iters = n.parse().map_err(|e| format!("--bp-iters: {e}"))?;
-    }
+    let cfg = config_from_flags(flags)?;
 
     let (mapping, label) = match method {
         "cualign" => {
-            let r = Aligner::new(cfg).align(&a, &b);
+            let r = Aligner::new(cfg).align(&a, &b).map_err(|e| e.to_string())?;
             eprintln!(
                 "cuAlign: NCV-GS3 = {:.4}, conserved = {}/{} edges, best BP iteration = {}",
                 r.scores.ncv_gs3,
@@ -110,7 +125,7 @@ fn cmd_align(flags: &HashMap<String, String>) -> Result<(), String> {
             (r.mapping, "cualign")
         }
         "cone" => {
-            let r = cone_align(&a, &b, &cfg);
+            let r = cone_align(&a, &b, &cfg).map_err(|e| e.to_string())?;
             eprintln!(
                 "cone-align: NCV-GS3 = {:.4}, conserved = {}/{} edges",
                 r.scores.ncv_gs3,
@@ -133,13 +148,17 @@ fn cmd_align(flags: &HashMap<String, String>) -> Result<(), String> {
     };
 
     let mut out: Box<dyn Write> = match flags.get("output") {
-        Some(path) => Box::new(
-            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
-        ),
+        Some(path) => {
+            Box::new(std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?)
+        }
         None => Box::new(std::io::stdout()),
     };
     writeln!(out, "# method: {label}").map_err(|e| e.to_string())?;
-    for (u, v) in mapping.iter().enumerate().filter_map(|(u, m)| m.map(|v| (u, v))) {
+    for (u, v) in mapping
+        .iter()
+        .enumerate()
+        .filter_map(|(u, m)| m.map(|v| (u, v)))
+    {
         writeln!(out, "{u}\t{v}").map_err(|e| e.to_string())?;
     }
     Ok(())
@@ -150,41 +169,13 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     let ds = stats::degree_stats(&g);
     println!("vertices:   {}", g.num_vertices());
     println!("edges:      {}", g.num_edges());
-    println!("degree:     min {} / mean {:.2} / max {} (σ {:.2})", ds.min, ds.mean, ds.max, ds.std_dev);
+    println!(
+        "degree:     min {} / mean {:.2} / max {} (σ {:.2})",
+        ds.min, ds.mean, ds.max, ds.std_dev
+    );
     println!("clustering: {:.4}", stats::global_clustering(&g));
     println!("components: {}", stats::connected_components(&g));
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::parse_flags;
-
-    fn v(items: &[&str]) -> Vec<String> {
-        items.iter().map(|s| s.to_string()).collect()
-    }
-
-    #[test]
-    fn parses_flag_pairs() {
-        let f = parse_flags(&v(&["--graph-a", "a.txt", "--k", "10"])).unwrap();
-        assert_eq!(f.get("graph-a").unwrap(), "a.txt");
-        assert_eq!(f.get("k").unwrap(), "10");
-    }
-
-    #[test]
-    fn rejects_positional_garbage() {
-        assert!(parse_flags(&v(&["oops"])).is_err());
-    }
-
-    #[test]
-    fn rejects_missing_value() {
-        assert!(parse_flags(&v(&["--k"])).is_err());
-    }
-
-    #[test]
-    fn empty_is_fine() {
-        assert!(parse_flags(&[]).unwrap().is_empty());
-    }
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -214,6 +205,60 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let path = require(flags, "output")?;
     io::save_edge_list(&g, path).map_err(|e| format!("writing {path}: {e}"))?;
-    eprintln!("wrote {} ({} vertices, {} edges)", path, g.num_vertices(), g.num_edges());
+    eprintln!(
+        "wrote {} ({} vertices, {} edges)",
+        path,
+        g.num_vertices(),
+        g.num_edges()
+    );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{config_from_flags, parse_flags};
+    use cualign::SparsityChoice;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_route_through_validating_builder() {
+        let f = parse_flags(&v(&["--density", "0.05", "--bp-iters", "12"])).unwrap();
+        let cfg = config_from_flags(&f).unwrap();
+        assert_eq!(cfg.sparsity, SparsityChoice::Density(0.05));
+        assert_eq!(cfg.bp.max_iters, 12);
+    }
+
+    #[test]
+    fn out_of_range_density_is_a_clean_error() {
+        let f = parse_flags(&v(&["--density", "3.0"])).unwrap();
+        let err = config_from_flags(&f).unwrap_err();
+        assert!(err.contains("sparsity.density"), "{err}");
+        let f = parse_flags(&v(&["--dim", "0"])).unwrap();
+        assert!(config_from_flags(&f).is_err());
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let f = parse_flags(&v(&["--graph-a", "a.txt", "--k", "10"])).unwrap();
+        assert_eq!(f.get("graph-a").unwrap(), "a.txt");
+        assert_eq!(f.get("k").unwrap(), "10");
+    }
+
+    #[test]
+    fn rejects_positional_garbage() {
+        assert!(parse_flags(&v(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse_flags(&v(&["--k"])).is_err());
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert!(parse_flags(&[]).unwrap().is_empty());
+    }
 }

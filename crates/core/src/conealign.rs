@@ -7,11 +7,14 @@
 //! alignment (kNN + matching), while cuAlign iterates belief propagation
 //! against the overlap structure first. Implementing both ends on the
 //! same embeddings isolates exactly the quality delta the paper reports
-//! (up to 22%, Fig. 6).
+//! (up to 22%, Fig. 6) — and [`cone_align_session`] makes the sharing
+//! literal: it rounds the `L` cached in an [`AlignmentSession`], so a
+//! head-to-head comparison computes the front half exactly once.
 
 use crate::config::AlignerConfig;
+use crate::error::AlignError;
 use crate::scoring::{score_alignment, AlignmentScores};
-use cualign_embed::align_subspaces;
+use crate::session::AlignmentSession;
 use cualign_graph::{CsrGraph, VertexId};
 use cualign_matching::{locally_dominant_parallel, Matching};
 use std::time::Instant;
@@ -24,7 +27,8 @@ pub struct ConeAlignResult {
     pub mapping: Vec<Option<VertexId>>,
     /// Quality metrics.
     pub scores: AlignmentScores,
-    /// Total wall-clock seconds.
+    /// Total wall-clock seconds (0 for the shared stages when the
+    /// session already had `L` cached).
     pub seconds: f64,
 }
 
@@ -32,23 +36,38 @@ pub struct ConeAlignResult {
 /// maximum-similarity matching. Uses the same configuration object as the
 /// full aligner so comparisons share every front-half parameter (the `bp`
 /// section is ignored).
-pub fn cone_align(a: &CsrGraph, b: &CsrGraph, cfg: &AlignerConfig) -> ConeAlignResult {
+pub fn cone_align(
+    a: &CsrGraph,
+    b: &CsrGraph,
+    cfg: &AlignerConfig,
+) -> Result<ConeAlignResult, AlignError> {
+    let mut session = AlignmentSession::new(a, b, cfg.clone())?;
+    cone_align_session(&mut session)
+}
+
+/// Runs the cone-align back half on a session's cached candidate graph
+/// `L`. When the session has already aligned (or is about to), the
+/// embeddings, subspace, and sparsification are computed once and shared
+/// between cuAlign and the baseline.
+pub fn cone_align_session(
+    session: &mut AlignmentSession<'_>,
+) -> Result<ConeAlignResult, AlignError> {
     let t = Instant::now();
-    let y1 = cfg.embedding.embed(a);
-    let y2 = cfg.embedding.with_seed_offset(0x9e3779b97f4a7c15).embed(b);
-    let sub = align_subspaces(&y1, &y2, a, b, &cfg.subspace);
-    let l = cfg.build_l(&sub.ya, &sub.yb);
-    let matching = locally_dominant_parallel(&l);
+    let matching = {
+        let l = session.sparse_l()?;
+        locally_dominant_parallel(l)
+    };
+    let (a, b) = session.graphs();
     let mapping: Vec<Option<VertexId>> = (0..a.num_vertices())
         .map(|u| matching.mate_of_a(u as VertexId))
         .collect();
     let scores = score_alignment(a, b, &mapping);
-    ConeAlignResult {
+    Ok(ConeAlignResult {
         matching,
         mapping,
         scores,
         seconds: t.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -63,14 +82,16 @@ mod tests {
 
     fn cfg() -> AlignerConfig {
         use cualign_embed::{EmbeddingMethod, SpectralConfig};
-        let mut cfg = AlignerConfig::default();
-        cfg.embedding = EmbeddingMethod::Spectral(SpectralConfig {
-            dim: 24,
-            oversample: 12,
-            ..Default::default()
-        });
+        let mut cfg = AlignerConfig {
+            embedding: EmbeddingMethod::Spectral(SpectralConfig {
+                dim: 24,
+                oversample: 12,
+                ..Default::default()
+            }),
+            sparsity: SparsityChoice::K(6),
+            ..AlignerConfig::default()
+        };
         cfg.bp.max_iters = 12;
-        cfg.sparsity = SparsityChoice::K(6);
         cfg.subspace.anchors = 0;
         cfg
     }
@@ -80,7 +101,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = duplication_divergence(150, 0.45, 0.35, &mut rng);
         let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-        let r = cone_align(&inst.a, &inst.b, &cfg());
+        let r = cone_align(&inst.a, &inst.b, &cfg()).unwrap();
         assert!(r.scores.ncv > 0.5, "ncv {}", r.scores.ncv);
         assert!(r.seconds > 0.0);
         assert_eq!(r.mapping.len(), 150);
@@ -94,13 +115,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let a = duplication_divergence(180, 0.45, 0.35, &mut rng);
         let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-        let cone = cone_align(&inst.a, &inst.b, &cfg());
-        let cu = Aligner::new(cfg()).align(&inst.a, &inst.b);
+        let cone = cone_align(&inst.a, &inst.b, &cfg()).unwrap();
+        let cu = Aligner::new(cfg()).align(&inst.a, &inst.b).unwrap();
         assert!(
             cu.scores.ncv_gs3 >= cone.scores.ncv_gs3 - 1e-9,
             "cuAlign {} < cone-align {}",
             cu.scores.ncv_gs3,
             cone.scores.ncv_gs3
         );
+    }
+
+    #[test]
+    fn session_variant_matches_standalone_and_reuses_l() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = duplication_divergence(120, 0.45, 0.35, &mut rng);
+        let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+        let standalone = cone_align(&inst.a, &inst.b, &cfg()).unwrap();
+
+        let mut session = AlignmentSession::new(&inst.a, &inst.b, cfg()).unwrap();
+        let _ = session.align().unwrap();
+        let shared = cone_align_session(&mut session).unwrap();
+        assert_eq!(standalone.mapping, shared.mapping);
+        assert_eq!(standalone.scores, shared.scores);
+        // Rounding the cached L must not rebuild any pipeline stage.
+        assert_eq!(session.counters().sparsify_builds, 1);
+        assert_eq!(session.counters().embedding_builds, 1);
     }
 }

@@ -1,6 +1,9 @@
-//! Configuration for the end-to-end aligner.
+//! Configuration for the end-to-end aligner: the [`AlignerConfig`]
+//! struct, a validating [`AlignerConfigBuilder`], and the shared
+//! `build_l` sparsification contract.
 
-use cualign_bp::BpConfig;
+use crate::error::AlignError;
+use cualign_bp::{BpConfig, MatcherKind};
 use cualign_embed::{EmbeddingMethod, SubspaceAlignConfig};
 use cualign_graph::BipartiteGraph;
 use cualign_linalg::DenseMatrix;
@@ -54,6 +57,95 @@ impl Default for AlignerConfig {
 }
 
 impl AlignerConfig {
+    /// Starts a validating builder from the default (paper operating
+    /// point) configuration:
+    ///
+    /// ```
+    /// use cualign::AlignerConfig;
+    /// let cfg = AlignerConfig::builder().density(0.025).bp_iters(25).build().unwrap();
+    /// assert!(AlignerConfig::builder().density(3.0).build().is_err());
+    /// ```
+    pub fn builder() -> AlignerConfigBuilder {
+        AlignerConfigBuilder {
+            cfg: AlignerConfig::default(),
+        }
+    }
+
+    /// Checks every field against its valid range, so errors surface at
+    /// construction instead of deep inside a pipeline stage.
+    pub fn validate(&self) -> Result<(), AlignError> {
+        fn bad(field: &'static str, reason: String) -> Result<(), AlignError> {
+            Err(AlignError::InvalidConfig { field, reason })
+        }
+        if self.embedding.dim() == 0 {
+            return bad("embedding.dim", "must be at least 1".into());
+        }
+        match self.sparsity {
+            SparsityChoice::Density(d) => {
+                if !(d > 0.0 && d <= 1.0) {
+                    return bad("sparsity.density", format!("must be in (0, 1], got {d}"));
+                }
+            }
+            SparsityChoice::K(k) => {
+                if k == 0 {
+                    return bad("sparsity.k", "must be at least 1".into());
+                }
+            }
+            SparsityChoice::MutualK(k) => {
+                if k == 0 {
+                    return bad("sparsity.mutual_k", "must be at least 1".into());
+                }
+            }
+            SparsityChoice::Threshold {
+                min_weight,
+                cap_per_vertex,
+            } => {
+                if cap_per_vertex == 0 {
+                    return bad("sparsity.cap_per_vertex", "must be at least 1".into());
+                }
+                if !(0.0..=1.0).contains(&min_weight) {
+                    return bad(
+                        "sparsity.min_weight",
+                        format!("must be in [0, 1] (weights are (1+cos)/2), got {min_weight}"),
+                    );
+                }
+            }
+        }
+        if !(self.bp.gamma > 0.0 && self.bp.gamma <= 1.0) {
+            return bad(
+                "bp.gamma",
+                format!("must be in (0, 1], got {}", self.bp.gamma),
+            );
+        }
+        if !self.bp.alpha.is_finite() || self.bp.alpha < 0.0 {
+            return bad(
+                "bp.alpha",
+                format!("must be finite and >= 0, got {}", self.bp.alpha),
+            );
+        }
+        if !self.bp.beta.is_finite() || self.bp.beta < 0.0 {
+            return bad(
+                "bp.beta",
+                format!("must be finite and >= 0, got {}", self.bp.beta),
+            );
+        }
+        let eps = self.subspace.sinkhorn.epsilon;
+        if eps <= 0.0 || eps.is_nan() {
+            return bad(
+                "subspace.sinkhorn.epsilon",
+                format!("must be > 0, got {}", self.subspace.sinkhorn.epsilon),
+            );
+        }
+        let eps0 = self.subspace.epsilon_start;
+        if eps0 <= 0.0 || eps0.is_nan() {
+            return bad(
+                "subspace.epsilon_start",
+                format!("must be > 0, got {}", self.subspace.epsilon_start),
+            );
+        }
+        Ok(())
+    }
+
     /// Resolves the sparsity choice to a per-vertex `k` for graphs of the
     /// given sizes (the cap for the threshold rule).
     pub fn resolve_k(&self, na: usize, nb: usize) -> usize {
@@ -73,12 +165,129 @@ impl AlignerConfig {
                 k: self.resolve_k(ya.rows(), yb.rows()),
             },
             SparsityChoice::MutualK(k) => Sparsifier::MutualKnn { k: k.max(1) },
-            SparsityChoice::Threshold { min_weight, cap_per_vertex } => Sparsifier::Threshold {
+            SparsityChoice::Threshold {
+                min_weight,
+                cap_per_vertex,
+            } => Sparsifier::Threshold {
                 min_weight,
                 cap_per_vertex: cap_per_vertex.max(1),
             },
         };
         cualign_sparsify::build_with(ya, yb, &rule)
+    }
+}
+
+/// Validating builder for [`AlignerConfig`]. Setters are chainable;
+/// [`AlignerConfigBuilder::build`] runs [`AlignerConfig::validate`] so an
+/// out-of-range value is rejected at construction, not deep inside a
+/// stage. Obtain one via [`AlignerConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct AlignerConfigBuilder {
+    cfg: AlignerConfig,
+}
+
+impl AlignerConfigBuilder {
+    /// Replaces the embedding method wholesale.
+    pub fn embedding(mut self, embedding: EmbeddingMethod) -> Self {
+        self.cfg.embedding = embedding;
+        self
+    }
+
+    /// Sets the embedding dimension of the current method.
+    pub fn embedding_dim(mut self, dim: usize) -> Self {
+        match &mut self.cfg.embedding {
+            EmbeddingMethod::Spectral(c) => c.dim = dim,
+            EmbeddingMethod::FastRp(c) => c.dim = dim,
+            EmbeddingMethod::NetMf(c) => c.dim = dim,
+        }
+        self
+    }
+
+    /// Sets the RNG seed of the current embedding method.
+    pub fn embedding_seed(mut self, seed: u64) -> Self {
+        match &mut self.cfg.embedding {
+            EmbeddingMethod::Spectral(c) => c.seed = seed,
+            EmbeddingMethod::FastRp(c) => c.seed = seed,
+            EmbeddingMethod::NetMf(c) => c.seed = seed,
+        }
+        self
+    }
+
+    /// Replaces the subspace-alignment parameters wholesale.
+    pub fn subspace(mut self, subspace: SubspaceAlignConfig) -> Self {
+        self.cfg.subspace = subspace;
+        self
+    }
+
+    /// Sets the anchor count for subspace alignment (0 = every vertex).
+    pub fn anchors(mut self, anchors: usize) -> Self {
+        self.cfg.subspace.anchors = anchors;
+        self
+    }
+
+    /// Sets an explicit sparsity rule.
+    pub fn sparsity(mut self, sparsity: SparsityChoice) -> Self {
+        self.cfg.sparsity = sparsity;
+        self
+    }
+
+    /// Sparsifies to a fraction of the complete bipartite graph — the
+    /// paper's density knob. Must be in `(0, 1]`.
+    pub fn density(mut self, density: f64) -> Self {
+        self.cfg.sparsity = SparsityChoice::Density(density);
+        self
+    }
+
+    /// Sparsifies to `k` nearest neighbors per vertex (union rule).
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.sparsity = SparsityChoice::K(k);
+        self
+    }
+
+    /// Sparsifies to mutual `k` nearest neighbors (intersection rule).
+    pub fn mutual_k(mut self, k: usize) -> Self {
+        self.cfg.sparsity = SparsityChoice::MutualK(k);
+        self
+    }
+
+    /// Sparsifies by similarity threshold with a per-vertex cap.
+    pub fn threshold(mut self, min_weight: f64, cap_per_vertex: usize) -> Self {
+        self.cfg.sparsity = SparsityChoice::Threshold {
+            min_weight,
+            cap_per_vertex,
+        };
+        self
+    }
+
+    /// Replaces the BP parameters wholesale.
+    pub fn bp(mut self, bp: BpConfig) -> Self {
+        self.cfg.bp = bp;
+        self
+    }
+
+    /// Sets the BP iteration budget.
+    pub fn bp_iters(mut self, iters: usize) -> Self {
+        self.cfg.bp.max_iters = iters;
+        self
+    }
+
+    /// Sets the objective weights `α` (matching weight) and `β` (overlap).
+    pub fn objective(mut self, alpha: f64, beta: f64) -> Self {
+        self.cfg.bp.alpha = alpha;
+        self.cfg.bp.beta = beta;
+        self
+    }
+
+    /// Sets the rounding matcher used inside the BP loop.
+    pub fn matcher(mut self, matcher: MatcherKind) -> Self {
+        self.cfg.bp.matcher = matcher;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    pub fn build(self) -> Result<AlignerConfig, AlignError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -95,21 +304,85 @@ mod tests {
 
     #[test]
     fn explicit_k_wins() {
-        let cfg = AlignerConfig { sparsity: SparsityChoice::K(7), ..Default::default() };
+        let cfg = AlignerConfig {
+            sparsity: SparsityChoice::K(7),
+            ..Default::default()
+        };
         assert_eq!(cfg.resolve_k(10_000, 10_000), 7);
-        let zero = AlignerConfig { sparsity: SparsityChoice::K(0), ..Default::default() };
+        let zero = AlignerConfig {
+            sparsity: SparsityChoice::K(0),
+            ..Default::default()
+        };
         assert_eq!(zero.resolve_k(10, 10), 1, "k floors at 1");
     }
 
     #[test]
     fn variant_rules_resolve() {
-        let m = AlignerConfig { sparsity: SparsityChoice::MutualK(9), ..Default::default() };
+        let m = AlignerConfig {
+            sparsity: SparsityChoice::MutualK(9),
+            ..Default::default()
+        };
         assert_eq!(m.resolve_k(100, 100), 9);
         let t = AlignerConfig {
-            sparsity: SparsityChoice::Threshold { min_weight: 0.9, cap_per_vertex: 12 },
+            sparsity: SparsityChoice::Threshold {
+                min_weight: 0.9,
+                cap_per_vertex: 12,
+            },
             ..Default::default()
         };
         assert_eq!(t.resolve_k(100, 100), 12);
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let cfg = AlignerConfig::builder()
+            .density(0.025)
+            .bp_iters(25)
+            .embedding_dim(32)
+            .anchors(256)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sparsity, SparsityChoice::Density(0.025));
+        assert_eq!(cfg.bp.max_iters, 25);
+        assert_eq!(cfg.embedding.dim(), 32);
+        assert_eq!(cfg.subspace.anchors, 256);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_values() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = AlignerConfig::builder().density(bad).build().unwrap_err();
+            match err {
+                crate::AlignError::InvalidConfig { field, .. } => {
+                    assert_eq!(field, "sparsity.density")
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(AlignerConfig::builder().k(0).build().is_err());
+        assert!(AlignerConfig::builder().mutual_k(0).build().is_err());
+        assert!(AlignerConfig::builder().threshold(0.5, 0).build().is_err());
+        assert!(AlignerConfig::builder().threshold(1.5, 8).build().is_err());
+        assert!(AlignerConfig::builder().embedding_dim(0).build().is_err());
+        assert!(AlignerConfig::builder()
+            .objective(-1.0, 2.0)
+            .build()
+            .is_err());
+        assert!(AlignerConfig::builder()
+            .objective(1.0, f64::INFINITY)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn validate_catches_direct_mutation() {
+        let mut cfg = AlignerConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.bp.gamma = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.bp.gamma = 1.0;
+        cfg.sparsity = SparsityChoice::Density(2.0);
+        assert!(cfg.validate().is_err());
     }
 
     #[test]
@@ -120,13 +393,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let ya = DenseMatrix::gaussian(30, 8, &mut rng);
         let yb = ya.clone();
-        let union = AlignerConfig { sparsity: SparsityChoice::K(4), ..Default::default() }
-            .build_l(&ya, &yb);
-        let mutual = AlignerConfig { sparsity: SparsityChoice::MutualK(4), ..Default::default() }
-            .build_l(&ya, &yb);
+        let union = AlignerConfig {
+            sparsity: SparsityChoice::K(4),
+            ..Default::default()
+        }
+        .build_l(&ya, &yb);
+        let mutual = AlignerConfig {
+            sparsity: SparsityChoice::MutualK(4),
+            ..Default::default()
+        }
+        .build_l(&ya, &yb);
         assert!(mutual.num_edges() <= union.num_edges());
         let thresh = AlignerConfig {
-            sparsity: SparsityChoice::Threshold { min_weight: 0.999, cap_per_vertex: 4 },
+            sparsity: SparsityChoice::Threshold {
+                min_weight: 0.999,
+                cap_per_vertex: 4,
+            },
             ..Default::default()
         }
         .build_l(&ya, &yb);

@@ -1,0 +1,118 @@
+//! Typed errors for the public alignment API.
+//!
+//! Every fallible entry point — [`crate::Aligner::align`], the
+//! [`crate::AlignmentSession`] stage methods, [`crate::cone_align`], and
+//! the configuration builder — reports degenerate inputs and invalid
+//! parameters through [`AlignError`] instead of panicking, so callers
+//! (the `cualign` binary in particular) can print a clean diagnostic.
+
+use std::fmt;
+
+/// Which input graph an error refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphSide {
+    /// The first (`A`) input graph.
+    A,
+    /// The second (`B`) input graph.
+    B,
+}
+
+impl fmt::Display for GraphSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphSide::A => write!(f, "A"),
+            GraphSide::B => write!(f, "B"),
+        }
+    }
+}
+
+/// Error raised by the alignment pipeline's public entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlignError {
+    /// An input graph has no vertices; nothing can be aligned.
+    EmptyGraph {
+        /// Which input is empty.
+        side: GraphSide,
+    },
+    /// The configured embedding dimension exceeds the vertex count of the
+    /// smaller input, so the spectral subspace is over-determined.
+    DimExceedsVertices {
+        /// Configured embedding dimension.
+        dim: usize,
+        /// Vertex count of the smaller input graph.
+        vertices: usize,
+    },
+    /// Sparsification produced a candidate graph `L` with zero edges
+    /// (e.g. a similarity threshold no candidate pair clears), so there
+    /// is nothing for belief propagation or matching to work on.
+    EmptySparsification,
+    /// A configuration field is out of its valid range. Produced by
+    /// [`crate::AlignerConfig::validate`] and the builder's `build()`.
+    InvalidConfig {
+        /// Dotted path of the offending field (e.g. `sparsity.density`).
+        field: &'static str,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+    /// An input file could not be read or parsed (CLI loaders).
+    Io {
+        /// Path of the offending file.
+        path: String,
+        /// Underlying error message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::EmptyGraph { side } => {
+                write!(f, "input graph {side} has no vertices")
+            }
+            AlignError::DimExceedsVertices { dim, vertices } => write!(
+                f,
+                "embedding dimension {dim} exceeds the {vertices} vertices of the smaller \
+                 input graph; lower the dimension or supply larger graphs"
+            ),
+            AlignError::EmptySparsification => write!(
+                f,
+                "sparsification produced an alignment graph with zero edges; relax the \
+                 sparsity rule (higher density / k, or a lower similarity threshold)"
+            ),
+            AlignError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field}: {reason}")
+            }
+            AlignError::Io { path, reason } => write!(f, "{path}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_clean_and_specific() {
+        let e = AlignError::EmptyGraph { side: GraphSide::B };
+        assert_eq!(e.to_string(), "input graph B has no vertices");
+        let e = AlignError::InvalidConfig {
+            field: "sparsity.density",
+            reason: "must be in (0, 1], got 3".to_string(),
+        };
+        assert!(e.to_string().contains("sparsity.density"));
+        let e = AlignError::DimExceedsVertices {
+            dim: 64,
+            vertices: 10,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(AlignError::EmptySparsification);
+    }
+}

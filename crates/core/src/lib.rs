@@ -19,12 +19,17 @@
 //! let a = erdos_renyi_gnm(120, 360, &mut rng);
 //! let inst = AlignmentInstance::permuted_pair(a, &mut rng);
 //!
-//! let mut cfg = AlignerConfig::default();
-//! cfg.bp.max_iters = 10;
-//! let result = Aligner::new(cfg).align(&inst.a, &inst.b);
+//! let cfg = AlignerConfig::builder().bp_iters(10).build().unwrap();
+//! let result = Aligner::new(cfg).align(&inst.a, &inst.b).unwrap();
 //! println!("NCV-GS3 = {:.3}", result.scores.ncv_gs3);
 //! assert!(result.scores.ncv_gs3 > 0.0);
 //! ```
+//!
+//! For parameter sweeps, hold an [`AlignmentSession`] instead of calling
+//! [`Aligner::align`] in a loop: the session caches each pipeline stage
+//! under a fingerprint of the config slice it depends on, so changing
+//! `sparsity` reuses the embeddings and subspace, and changing
+//! `bp.max_iters` reuses everything up to the overlap matrix.
 //!
 //! ## Architecture
 //!
@@ -33,22 +38,27 @@
 //! `cualign-embed` (embeddings + Eq. 2), `cualign-sparsify` (kNN → `L`),
 //! `cualign-overlap` (matrix `S`), `cualign-bp` (Algorithm 2),
 //! `cualign-matching` (§4.3), and `cualign-gpusim` (the GPU cost model for
-//! the Table 2 study). This crate provides the user-facing [`Aligner`],
-//! the [`conealign`] baseline, alignment [`scoring`], and the paper's
-//! named [`inputs`].
+//! the Table 2 study). This crate provides the user-facing [`Aligner`]
+//! and the stage-cached [`AlignmentSession`] engine behind it, the
+//! [`conealign`] baseline, alignment [`scoring`], and the paper's named
+//! [`inputs`].
 
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod conealign;
 pub mod config;
+pub mod error;
 pub mod inputs;
 pub mod pipeline;
 pub mod scoring;
+pub mod session;
 
 pub use baselines::{exact_alignment, isorank_align, seed_and_expand};
-pub use conealign::{cone_align, ConeAlignResult};
-pub use config::{AlignerConfig, SparsityChoice};
+pub use conealign::{cone_align, cone_align_session, ConeAlignResult};
+pub use config::{AlignerConfig, AlignerConfigBuilder, SparsityChoice};
+pub use error::{AlignError, GraphSide};
 pub use inputs::PaperInput;
 pub use pipeline::{Aligner, AlignmentResult, StageTimings};
 pub use scoring::{score_alignment, AlignmentScores};
+pub use session::{AlignmentSession, Embeddings, StageCounters};

@@ -1,16 +1,26 @@
 //! The end-to-end cuAlign pipeline (paper Fig. 2): embed → align subspaces
 //! → sparsify → (belief propagation ⇄ matching)* → score.
+//!
+//! [`Aligner`] is the one-shot entry point; it opens a fresh
+//! [`crate::AlignmentSession`] per call. Callers running the pipeline
+//! repeatedly under varying configurations (sweeps, ablations) should
+//! hold a session directly so the unchanged stages are reused.
 
 use crate::config::AlignerConfig;
-use crate::scoring::{score_alignment, AlignmentScores};
-use cualign_bp::{BpEngine, BpOutcome};
-use cualign_embed::align_subspaces;
+use crate::error::AlignError;
+use crate::scoring::AlignmentScores;
+use crate::session::AlignmentSession;
+use cualign_bp::BpOutcome;
 use cualign_graph::{CsrGraph, VertexId};
 use cualign_matching::Matching;
-use cualign_overlap::OverlapMatrix;
-use std::time::Instant;
 
-/// Wall-clock seconds per pipeline stage.
+/// Wall-clock seconds per pipeline stage for one `align` run.
+///
+/// When a stage's artifact was reused from a session cache it contributes
+/// `0 s` here (the build cost was paid by an earlier run) and is counted
+/// in [`StageTimings::cache_hits`] instead. A session's lifetime build
+/// costs are available via
+/// [`crate::AlignmentSession::cumulative_timings`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimings {
     /// Proximity embedding of both graphs.
@@ -23,6 +33,8 @@ pub struct StageTimings {
     pub overlap_s: f64,
     /// BP + matching optimization loop.
     pub optimize_s: f64,
+    /// Number of the five stages served from a session cache this run.
+    pub cache_hits: usize,
 }
 
 impl StageTimings {
@@ -69,7 +81,9 @@ impl Aligner {
 
     /// Convenience constructor with [`AlignerConfig::default`].
     pub fn with_defaults() -> Self {
-        Aligner { cfg: AlignerConfig::default() }
+        Aligner {
+            cfg: AlignerConfig::default(),
+        }
     }
 
     /// The active configuration.
@@ -78,51 +92,14 @@ impl Aligner {
     }
 
     /// Runs the full pipeline on graphs `a` and `b`.
-    pub fn align(&self, a: &CsrGraph, b: &CsrGraph) -> AlignmentResult {
-        let mut timings = StageTimings::default();
-
-        // Stage 1: proximity embeddings. Different seeds per side — the
-        // subspace stage must not rely on shared randomness.
-        let t = Instant::now();
-        let y1 = self.cfg.embedding.embed(a);
-        let y2 = self.cfg.embedding.with_seed_offset(0x9e3779b97f4a7c15).embed(b);
-        timings.embedding_s = t.elapsed().as_secs_f64();
-
-        // Stage 2: subspace alignment (Eq. 2).
-        let t = Instant::now();
-        let sub = align_subspaces(&y1, &y2, a, b, &self.cfg.subspace);
-        timings.subspace_s = t.elapsed().as_secs_f64();
-
-        // Stage 3: sparsification → L (kNN by default; see
-        // `SparsityChoice` for the alternative rules).
-        let t = Instant::now();
-        let l = self.cfg.build_l(&sub.ya, &sub.yb);
-        timings.sparsify_s = t.elapsed().as_secs_f64();
-
-        // Stage 4: overlap matrix S (Algorithm 3).
-        let t = Instant::now();
-        let s = OverlapMatrix::build(a, b, &l);
-        timings.overlap_s = t.elapsed().as_secs_f64();
-
-        // Stage 5: BP ⇄ matching optimization (Algorithm 2).
-        let t = Instant::now();
-        let bp = BpEngine::new(&l, &s, &self.cfg.bp).run();
-        timings.optimize_s = t.elapsed().as_secs_f64();
-
-        let mapping: Vec<Option<VertexId>> = (0..a.num_vertices())
-            .map(|u| bp.best_matching.mate_of_a(u as VertexId))
-            .collect();
-        let scores = score_alignment(a, b, &mapping);
-
-        AlignmentResult {
-            mapping,
-            scores,
-            timings,
-            l_edges: l.num_edges(),
-            s_nnz: s.nnz(),
-            matching: bp.best_matching.clone(),
-            bp,
-        }
+    ///
+    /// Equivalent to opening an [`AlignmentSession`] and calling
+    /// [`AlignmentSession::align`] once. Errors on degenerate input
+    /// (empty graph, embedding dimension exceeding the smaller graph, a
+    /// sparsification rule yielding zero candidates) or an invalid
+    /// configuration.
+    pub fn align(&self, a: &CsrGraph, b: &CsrGraph) -> Result<AlignmentResult, AlignError> {
+        AlignmentSession::new(a, b, self.cfg.clone())?.align()
     }
 }
 
@@ -137,14 +114,16 @@ mod tests {
 
     fn small_cfg() -> AlignerConfig {
         use cualign_embed::{EmbeddingMethod, SpectralConfig};
-        let mut cfg = AlignerConfig::default();
-        cfg.embedding = EmbeddingMethod::Spectral(SpectralConfig {
-            dim: 24,
-            oversample: 12,
-            ..Default::default()
-        });
+        let mut cfg = AlignerConfig {
+            embedding: EmbeddingMethod::Spectral(SpectralConfig {
+                dim: 24,
+                oversample: 12,
+                ..Default::default()
+            }),
+            sparsity: SparsityChoice::K(6),
+            ..AlignerConfig::default()
+        };
         cfg.bp.max_iters = 10;
-        cfg.sparsity = SparsityChoice::K(6);
         cfg.subspace.anchors = 0;
         cfg
     }
@@ -154,15 +133,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = erdos_renyi_gnm(150, 450, &mut rng);
         let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-        let result = Aligner::new(small_cfg()).align(&inst.a, &inst.b);
+        let result = Aligner::new(small_cfg()).align(&inst.a, &inst.b).unwrap();
         assert!(
             result.scores.ncv_gs3 > 0.6,
             "NCV-GS3 only {}",
             result.scores.ncv_gs3
         );
-        assert!(
-            result.matching.len() <= inst.a.num_vertices().min(inst.b.num_vertices())
-        );
+        assert!(result.matching.len() <= inst.a.num_vertices().min(inst.b.num_vertices()));
     }
 
     #[test]
@@ -170,7 +147,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let a = duplication_divergence(200, 0.45, 0.35, &mut rng);
         let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-        let result = Aligner::new(small_cfg()).align(&inst.a, &inst.b);
+        let result = Aligner::new(small_cfg()).align(&inst.a, &inst.b).unwrap();
         assert!(
             result.scores.ncv_gs3 > 0.5,
             "NCV-GS3 only {}",
@@ -186,9 +163,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = erdos_renyi_gnm(80, 200, &mut rng);
         let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-        let result = Aligner::new(small_cfg()).align(&inst.a, &inst.b);
+        let result = Aligner::new(small_cfg()).align(&inst.a, &inst.b).unwrap();
         assert!(result.timings.total_s() > 0.0);
         assert!(result.timings.init_s() > 0.0);
+        // A one-shot align starts from a fresh session: nothing cached.
+        assert_eq!(result.timings.cache_hits, 0);
         assert!(result.l_edges >= 80 * 6);
         // 10 BP iterations + the iteration-0 direct rounding.
         assert!(result.bp.history.len() == 11);
@@ -199,9 +178,47 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let a = erdos_renyi_gnm(60, 150, &mut rng);
         let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-        let r1 = Aligner::new(small_cfg()).align(&inst.a, &inst.b);
-        let r2 = Aligner::new(small_cfg()).align(&inst.a, &inst.b);
+        let r1 = Aligner::new(small_cfg()).align(&inst.a, &inst.b).unwrap();
+        let r2 = Aligner::new(small_cfg()).align(&inst.a, &inst.b).unwrap();
         assert_eq!(r1.mapping, r2.mapping);
         assert_eq!(r1.scores, r2.scores);
+
+        // The session path is bit-identical to the one-shot path, both on
+        // a cold cache and on a warm one.
+        use crate::session::AlignmentSession;
+        let mut session = AlignmentSession::new(&inst.a, &inst.b, small_cfg()).unwrap();
+        let s1 = session.align().unwrap();
+        let s2 = session.align().unwrap();
+        assert_eq!(r1.mapping, s1.mapping);
+        assert_eq!(r1.scores, s1.scores);
+        assert_eq!(r1.bp.best_score, s1.bp.best_score);
+        assert_eq!(s1.mapping, s2.mapping);
+        assert_eq!(s2.timings.cache_hits, 5);
+    }
+
+    #[test]
+    fn degenerate_inputs_error_cleanly() {
+        use crate::error::AlignError;
+        let empty = CsrGraph::from_edges(0, &[]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_gnm(40, 90, &mut rng);
+        let aligner = Aligner::new(small_cfg());
+        assert!(matches!(
+            aligner.align(&empty, &g),
+            Err(AlignError::EmptyGraph { .. })
+        ));
+        assert!(matches!(
+            aligner.align(&g, &empty),
+            Err(AlignError::EmptyGraph { .. })
+        ));
+        // dim 24 > 10 vertices.
+        let tiny = erdos_renyi_gnm(10, 20, &mut rng);
+        assert!(matches!(
+            aligner.align(&tiny, &g),
+            Err(AlignError::DimExceedsVertices {
+                dim: 24,
+                vertices: 10
+            })
+        ));
     }
 }

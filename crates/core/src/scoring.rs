@@ -36,7 +36,11 @@ pub struct AlignmentScores {
 ///
 /// # Panics
 /// Panics if `mapping.len() != |V_A|` or an image is out of range.
-pub fn score_alignment(a: &CsrGraph, b: &CsrGraph, mapping: &[Option<VertexId>]) -> AlignmentScores {
+pub fn score_alignment(
+    a: &CsrGraph,
+    b: &CsrGraph,
+    mapping: &[Option<VertexId>],
+) -> AlignmentScores {
     assert_eq!(mapping.len(), a.num_vertices(), "mapping length ≠ |V_A|");
     for m in mapping.iter().flatten() {
         assert!((*m as usize) < b.num_vertices(), "image {m} out of range");
@@ -62,7 +66,11 @@ pub fn score_alignment(a: &CsrGraph, b: &CsrGraph, mapping: &[Option<VertexId>])
         .count();
 
     let ea = a.num_edges();
-    let ec = if ea == 0 { 0.0 } else { conserved as f64 / ea as f64 };
+    let ec = if ea == 0 {
+        0.0
+    } else {
+        conserved as f64 / ea as f64
+    };
     let ics = if img_edges == 0 {
         0.0
     } else {
@@ -75,7 +83,11 @@ pub fn score_alignment(a: &CsrGraph, b: &CsrGraph, mapping: &[Option<VertexId>])
         conserved as f64 / s3_den as f64
     };
     let nv = a.num_vertices() + b.num_vertices();
-    let ncv = if nv == 0 { 0.0 } else { 2.0 * mapped as f64 / nv as f64 };
+    let ncv = if nv == 0 {
+        0.0
+    } else {
+        2.0 * mapped as f64 / nv as f64
+    };
     AlignmentScores {
         conserved_edges: conserved,
         ec,

@@ -40,7 +40,13 @@ pub struct NetMfConfig {
 
 impl Default for NetMfConfig {
     fn default() -> Self {
-        NetMfConfig { dim: 64, window: 5, negative: 1.0, seed: 0xfeed, normalize: true }
+        NetMfConfig {
+            dim: 64,
+            window: 5,
+            negative: 1.0,
+            seed: 0xfeed,
+            normalize: true,
+        }
     }
 }
 
@@ -107,8 +113,8 @@ pub fn netmf_embedding(g: &CsrGraph, cfg: &NetMfConfig) -> DenseMatrix {
     let q = orthonormalize(&m.matmul(&omega)); // n × oversample
     let b = q.transpose_matmul(&m); // oversample × n  (QᵀM)
     let svd = jacobi_svd(&b.transpose()); // svd of n × oversample (tall)
-    // b = V Σ Uᵀ with U = svd.u (n × k), V = svd.v (k × k).
-    // M ≈ Q b = (Q V) Σ Uᵀ; left embedding = (Q V) √Σ, truncated to dim.
+                                          // b = V Σ Uᵀ with U = svd.u (n × k), V = svd.v (k × k).
+                                          // M ≈ Q b = (Q V) Σ Uᵀ; left embedding = (Q V) √Σ, truncated to dim.
     let qv = q.matmul(&svd.v); // n × oversample
     let mut emb = DenseMatrix::zeros(n, cfg.dim);
     for i in 0..n {
@@ -132,7 +138,10 @@ mod tests {
     fn shape_and_determinism() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = erdos_renyi_gnm(80, 200, &mut rng);
-        let cfg = NetMfConfig { dim: 16, ..Default::default() };
+        let cfg = NetMfConfig {
+            dim: 16,
+            ..Default::default()
+        };
         let y1 = netmf_embedding(&g, &cfg);
         let y2 = netmf_embedding(&g, &cfg);
         assert_eq!(y1.rows(), 80);
@@ -144,7 +153,13 @@ mod tests {
     fn netmf_is_proximity_preserving() {
         let mut rng = StdRng::seed_from_u64(2);
         let g = watts_strogatz(200, 8, 0.05, &mut rng);
-        let y = netmf_embedding(&g, &NetMfConfig { dim: 32, ..Default::default() });
+        let y = netmf_embedding(
+            &g,
+            &NetMfConfig {
+                dim: 32,
+                ..Default::default()
+            },
+        );
         let c = neighborhood_coherence(&g, &y, 1000, 3);
         assert!(c > 0.15, "coherence only {c}");
     }

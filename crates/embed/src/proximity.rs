@@ -41,7 +41,13 @@ pub struct FastRpConfig {
 
 impl Default for FastRpConfig {
     fn default() -> Self {
-        FastRpConfig { dim: 64, hops: 4, decay: 0.7, seed: 0x5eed, normalize: true }
+        FastRpConfig {
+            dim: 64,
+            hops: 4,
+            decay: 0.7,
+            seed: 0x5eed,
+            normalize: true,
+        }
     }
 }
 
@@ -171,7 +177,13 @@ mod tests {
     #[test]
     fn isolated_vertices_get_zero_rows() {
         let g = CsrGraph::from_edges(4, &[(0, 1)]);
-        let y = fastrp_embedding(&g, &FastRpConfig { normalize: false, ..Default::default() });
+        let y = fastrp_embedding(
+            &g,
+            &FastRpConfig {
+                normalize: false,
+                ..Default::default()
+            },
+        );
         assert!(y.row(2).iter().all(|&x| x == 0.0));
         assert!(y.row(3).iter().all(|&x| x == 0.0));
         assert!(y.row(0).iter().any(|&x| x != 0.0));
@@ -211,6 +223,12 @@ mod tests {
     #[should_panic(expected = "dimension")]
     fn rejects_zero_dim() {
         let g = CsrGraph::empty(3);
-        let _ = fastrp_embedding(&g, &FastRpConfig { dim: 0, ..Default::default() });
+        let _ = fastrp_embedding(
+            &g,
+            &FastRpConfig {
+                dim: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -142,7 +142,10 @@ mod tests {
     fn shape_and_determinism() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = barabasi_albert(200, 3, &mut rng);
-        let cfg = SpectralConfig { dim: 16, ..Default::default() };
+        let cfg = SpectralConfig {
+            dim: 16,
+            ..Default::default()
+        };
         let y1 = spectral_embedding(&g, &cfg);
         let y2 = spectral_embedding(&g, &cfg);
         assert_eq!(y1.rows(), 200);
@@ -154,7 +157,13 @@ mod tests {
     fn proximity_preserving() {
         let mut rng = StdRng::seed_from_u64(2);
         let g = watts_strogatz(300, 8, 0.05, &mut rng);
-        let y = spectral_embedding(&g, &SpectralConfig { dim: 32, ..Default::default() });
+        let y = spectral_embedding(
+            &g,
+            &SpectralConfig {
+                dim: 32,
+                ..Default::default()
+            },
+        );
         let c = neighborhood_coherence(&g, &y, 2000, 5);
         assert!(c > 0.2, "coherence only {c}");
     }
@@ -170,7 +179,14 @@ mod tests {
         let p = Permutation::random(80, &mut rng);
         let b = p.apply_to_graph(&a);
         // Generous iteration budget; different seeds on purpose.
-        let cfg_a = SpectralConfig { dim: 8, iters: 60, oversample: 24, seed: 10, eigenvalue_power: 1.0, normalize: false };
+        let cfg_a = SpectralConfig {
+            dim: 8,
+            iters: 60,
+            oversample: 24,
+            seed: 10,
+            eigenvalue_power: 1.0,
+            normalize: false,
+        };
         let cfg_b = SpectralConfig { seed: 999, ..cfg_a };
         let ya = spectral_embedding(&a, &cfg_a);
         let yb = spectral_embedding(&b, &cfg_b);
@@ -196,7 +212,12 @@ mod tests {
     #[test]
     fn isolated_vertices_zero_rows() {
         let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0)]);
-        let cfg = SpectralConfig { dim: 2, oversample: 2, normalize: false, ..Default::default() };
+        let cfg = SpectralConfig {
+            dim: 2,
+            oversample: 2,
+            normalize: false,
+            ..Default::default()
+        };
         let y = spectral_embedding(&g, &cfg);
         for i in 3..6 {
             assert!(y.row(i).iter().all(|&x| x == 0.0), "row {i} not zero");
@@ -207,6 +228,13 @@ mod tests {
     #[should_panic(expected = "exceeds vertex count")]
     fn rejects_oversized_block() {
         let g = CsrGraph::empty(10);
-        let _ = spectral_embedding(&g, &SpectralConfig { dim: 8, oversample: 8, ..Default::default() });
+        let _ = spectral_embedding(
+            &g,
+            &SpectralConfig {
+                dim: 8,
+                oversample: 8,
+                ..Default::default()
+            },
+        );
     }
 }

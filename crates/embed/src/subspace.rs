@@ -47,13 +47,18 @@ impl Default for SubspaceAlignConfig {
         SubspaceAlignConfig {
             anchors: 768,
             iterations: 8,
-            sinkhorn: SinkhornOptions { epsilon: 0.05, max_iters: 150, tolerance: 1e-5 },
+            sinkhorn: SinkhornOptions {
+                epsilon: 0.05,
+                max_iters: 150,
+                tolerance: 1e-5,
+            },
             epsilon_start: 0.3,
         }
     }
 }
 
 /// Result of subspace alignment.
+#[derive(Clone, Debug)]
 pub struct SubspaceAlignment {
     /// `Y₁ · Q` — graph A's embedding rotated into B's frame.
     pub ya: DenseMatrix,
@@ -115,7 +120,11 @@ pub fn structural_features(g: &CsrGraph) -> DenseMatrix {
         }
         let row = f.row_mut(u);
         row[0] = (1.0 + deg as f64).ln();
-        row[1] = if deg == 0 { 0.0 } else { (1.0 + sum_nd as f64 / deg as f64).ln() };
+        row[1] = if deg == 0 {
+            0.0
+        } else {
+            (1.0 + sum_nd as f64 / deg as f64).ln()
+        };
         row[2] = (1.0 + max_nd as f64).ln();
         row[3] = (1.0 + two_hop.len() as f64).ln();
         row[4] = if deg >= 2 {
@@ -210,10 +219,12 @@ pub fn align_subspaces(
             cfg.sinkhorn.epsilon
         } else {
             let t = round as f64 / (cfg.iterations - 1) as f64;
-            cfg.epsilon_start.max(1e-12).powf(1.0 - t)
-                * cfg.sinkhorn.epsilon.max(1e-12).powf(t)
+            cfg.epsilon_start.max(1e-12).powf(1.0 - t) * cfg.sinkhorn.epsilon.max(1e-12).powf(t)
         };
-        let opts = SinkhornOptions { epsilon: eps, ..cfg.sinkhorn };
+        let opts = SinkhornOptions {
+            epsilon: eps,
+            ..cfg.sinkhorn
+        };
         let tp = sinkhorn(&cost, &opts);
         // Transport cost ⟨T, C⟩ as the round diagnostic.
         let tc: f64 = tp
@@ -258,15 +269,26 @@ mod tests {
         let p = Permutation::random(150, &mut rng);
         let gb = p.apply_to_graph(&ga);
 
-        let y1 = fastrp_embedding(&ga, &FastRpConfig { dim: 16, ..Default::default() });
+        let y1 = fastrp_embedding(
+            &ga,
+            &FastRpConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
         let q0 = orthonormalize(&DenseMatrix::gaussian(16, 16, &mut rng));
         let rotated = y1.matmul(&q0);
         let mut y2 = DenseMatrix::zeros(150, 16);
         for i in 0..150 {
-            y2.row_mut(p.apply(i as u32) as usize).copy_from_slice(rotated.row(i));
+            y2.row_mut(p.apply(i as u32) as usize)
+                .copy_from_slice(rotated.row(i));
         }
 
-        let cfg = SubspaceAlignConfig { anchors: 0, iterations: 8, ..Default::default() };
+        let cfg = SubspaceAlignConfig {
+            anchors: 0,
+            iterations: 8,
+            ..Default::default()
+        };
         let out = align_subspaces(&y1, &y2, &ga, &gb, &cfg);
 
         // After alignment, vertex i of A should be near its true image.
@@ -284,8 +306,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let ga = barabasi_albert(80, 3, &mut rng);
         let gb = barabasi_albert(80, 3, &mut rng);
-        let y1 = fastrp_embedding(&ga, &FastRpConfig { dim: 8, ..Default::default() });
-        let y2 = fastrp_embedding(&gb, &FastRpConfig { dim: 8, seed: 99, ..Default::default() });
+        let y1 = fastrp_embedding(
+            &ga,
+            &FastRpConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
+        let y2 = fastrp_embedding(
+            &gb,
+            &FastRpConfig {
+                dim: 8,
+                seed: 99,
+                ..Default::default()
+            },
+        );
         let out = align_subspaces(&y1, &y2, &ga, &gb, &SubspaceAlignConfig::default());
         assert!(out.rotation.is_orthonormal(1e-8));
     }
@@ -320,14 +355,25 @@ mod tests {
         let ga = barabasi_albert(120, 3, &mut rng);
         let p = Permutation::random(120, &mut rng);
         let gb = p.apply_to_graph(&ga);
-        let y1 = fastrp_embedding(&ga, &FastRpConfig { dim: 12, ..Default::default() });
+        let y1 = fastrp_embedding(
+            &ga,
+            &FastRpConfig {
+                dim: 12,
+                ..Default::default()
+            },
+        );
         let q0 = orthonormalize(&DenseMatrix::gaussian(12, 12, &mut rng));
         let rotated = y1.matmul(&q0);
         let mut y2 = DenseMatrix::zeros(120, 12);
         for i in 0..120 {
-            y2.row_mut(p.apply(i as u32) as usize).copy_from_slice(rotated.row(i));
+            y2.row_mut(p.apply(i as u32) as usize)
+                .copy_from_slice(rotated.row(i));
         }
-        let cfg = SubspaceAlignConfig { anchors: 0, iterations: 6, ..Default::default() };
+        let cfg = SubspaceAlignConfig {
+            anchors: 0,
+            iterations: 6,
+            ..Default::default()
+        };
         let out = align_subspaces(&y1, &y2, &ga, &gb, &cfg);
         let first = out.round_costs.first().copied().unwrap();
         let last = out.round_costs.last().copied().unwrap();

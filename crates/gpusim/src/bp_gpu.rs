@@ -72,8 +72,8 @@ pub fn model_bp_iteration(
         kernels.push((
             "fused_f_dc",
             simulate_launch(device, exec, &rows, |sz| Footprint {
-                contiguous_reads: 1, // w[row]
-                scattered_reads: sz, // sp[perm[j]]
+                contiguous_reads: 1,       // w[row]
+                scattered_reads: sz,       // sp[perm[j]]
                 contiguous_writes: sz + 1, // F row + dc[row]
                 scattered_writes: 0,
                 flops: 3 * sz + 2,
@@ -236,8 +236,30 @@ mod tests {
         let (_, fused_s) = model_bp_iteration(&l, &s, true, &gpu, &exec);
         let (_, unfused_s) = model_bp_iteration(&l, &s, false, &gpu, &exec);
         assert!(fused_s < unfused_s, "fused {fused_s} ≥ unfused {unfused_s}");
-        let fused_bytes = model_bp_phase(&l, &s, &BpConfig { fused: true, max_iters: 1, ..Default::default() }, &gpu, &exec).bytes_per_iteration;
-        let unfused_bytes = model_bp_phase(&l, &s, &BpConfig { fused: false, max_iters: 1, ..Default::default() }, &gpu, &exec).bytes_per_iteration;
+        let fused_bytes = model_bp_phase(
+            &l,
+            &s,
+            &BpConfig {
+                fused: true,
+                max_iters: 1,
+                ..Default::default()
+            },
+            &gpu,
+            &exec,
+        )
+        .bytes_per_iteration;
+        let unfused_bytes = model_bp_phase(
+            &l,
+            &s,
+            &BpConfig {
+                fused: false,
+                max_iters: 1,
+                ..Default::default()
+            },
+            &gpu,
+            &exec,
+        )
+        .bytes_per_iteration;
         assert!(fused_bytes < unfused_bytes);
     }
 
@@ -269,7 +291,10 @@ mod tests {
     #[test]
     fn simulate_bp_numerics_match_reference() {
         let (l, s) = instance(40, 3);
-        let cfg = BpConfig { max_iters: 8, ..Default::default() };
+        let cfg = BpConfig {
+            max_iters: 8,
+            ..Default::default()
+        };
         let (out_sim, report) =
             simulate_bp(&l, &s, &cfg, &DeviceSpec::a100(), &ExecConfig::optimized());
         let out_ref = BpEngine::new(&l, &s, &cfg).run();
@@ -290,7 +315,14 @@ mod tests {
             &ExecConfig::optimized(),
         );
         let names: Vec<&str> = r.per_kernel.iter().map(|(n, _)| *n).collect();
-        for expected in ["fused_f_dc", "othermax_col_yc", "othermax_row_zc", "sc_update", "damp_yz", "damp_sp"] {
+        for expected in [
+            "fused_f_dc",
+            "othermax_col_yc",
+            "othermax_row_zc",
+            "sc_update",
+            "damp_yz",
+            "damp_sp",
+        ] {
             assert!(names.contains(&expected), "missing kernel {expected}");
         }
     }

@@ -22,13 +22,21 @@ pub struct ExecConfig {
 impl ExecConfig {
     /// Everything on — the cuAlign configuration.
     pub fn optimized() -> Self {
-        ExecConfig { binning: true, virtual_warps: true, streams: true }
+        ExecConfig {
+            binning: true,
+            virtual_warps: true,
+            streams: true,
+        }
     }
 
     /// Everything off — the naive "one warp per item, serial launches"
     /// port the paper warns about.
     pub fn naive() -> Self {
-        ExecConfig { binning: false, virtual_warps: false, streams: false }
+        ExecConfig {
+            binning: false,
+            virtual_warps: false,
+            streams: false,
+        }
     }
 }
 
@@ -99,7 +107,10 @@ impl LaunchStats {
 
     /// Total memory transactions (coalesced + scattered).
     pub fn transactions(&self) -> u64 {
-        self.bins.iter().map(|b| b.coalesced_tx + b.scattered_tx).sum()
+        self.bins
+            .iter()
+            .map(|b| b.coalesced_tx + b.scattered_tx)
+            .sum()
     }
 
     /// DRAM bytes moved under the device's transaction size.
@@ -215,10 +226,7 @@ where
     }
 
     let launches = bins.len().max(1);
-    let tail: f64 = bins
-        .iter()
-        .map(|b| b.critical_path_s)
-        .fold(0.0, f64::max);
+    let tail: f64 = bins.iter().map(|b| b.critical_path_s).fold(0.0, f64::max);
     let seconds = if cfg.streams && simt {
         // Bins overlap: each hardware resource pipelines across bins; the
         // slowest resource bounds the launch family, plus the longest
@@ -229,11 +237,14 @@ where
         c.max(bw).max(lt) + tail + device.launch_overhead_s
     } else {
         // Serial launches: each bin pays its own bulk + tail.
-        bins.iter().map(|b| b.total_s()).sum::<f64>()
-            + device.launch_overhead_s * launches as f64
+        bins.iter().map(|b| b.total_s()).sum::<f64>() + device.launch_overhead_s * launches as f64
     };
 
-    LaunchStats { bins, seconds, launches }
+    LaunchStats {
+        bins,
+        seconds,
+        launches,
+    }
 }
 
 /// Helper: merge a Binning into one pseudo-bin keeping all items.
@@ -275,7 +286,7 @@ mod tests {
         let gpu = DeviceSpec::a100();
         // Many tiny items + a few huge ones: the §5 pathology.
         let mut sizes = vec![2usize; 1000];
-        sizes.extend(std::iter::repeat(500).take(10));
+        sizes.extend(std::iter::repeat_n(500, 10));
         let naive = simulate_launch(&gpu, &ExecConfig::naive(), &sizes, unit_footprint);
         let opt = simulate_launch(&gpu, &ExecConfig::optimized(), &sizes, unit_footprint);
         assert!(
@@ -307,10 +318,13 @@ mod tests {
     fn streams_overlap_bins() {
         let gpu = DeviceSpec::a100();
         let mut sizes = vec![4usize; 500];
-        sizes.extend(std::iter::repeat(100).take(500));
+        sizes.extend(std::iter::repeat_n(100, 500));
         let no_streams = simulate_launch(
             &gpu,
-            &ExecConfig { streams: false, ..ExecConfig::optimized() },
+            &ExecConfig {
+                streams: false,
+                ..ExecConfig::optimized()
+            },
             &sizes,
             unit_footprint,
         );

@@ -46,7 +46,10 @@ impl Footprint {
 
     /// Total f64 elements touched.
     pub fn total_elements(&self) -> usize {
-        self.contiguous_reads + self.scattered_reads + self.contiguous_writes + self.scattered_writes
+        self.contiguous_reads
+            + self.scattered_reads
+            + self.contiguous_writes
+            + self.scattered_writes
     }
 }
 
@@ -56,7 +59,13 @@ mod tests {
 
     #[test]
     fn add_and_scale() {
-        let a = Footprint { contiguous_reads: 1, scattered_reads: 2, contiguous_writes: 3, scattered_writes: 0, flops: 4 };
+        let a = Footprint {
+            contiguous_reads: 1,
+            scattered_reads: 2,
+            contiguous_writes: 3,
+            scattered_writes: 0,
+            flops: 4,
+        };
         let b = a.add(&a);
         assert_eq!(b.scattered_reads, 4);
         assert_eq!(a.scaled(3).flops, 12);

@@ -45,9 +45,9 @@ pub fn model_matching_time(
     let deg_a: Vec<usize> = (0..l.na()).map(|a| l.degree_a(a as VertexId)).collect();
     let deg_b: Vec<usize> = (0..l.nb()).map(|b| l.degree_b(b as VertexId)).collect();
     let ptr_a = simulate_launch(device, exec, &deg_a, |sz| Footprint {
-        contiguous_reads: sz,  // weights along the row
-        scattered_reads: sz,   // mate flag of the opposite endpoint
-        contiguous_writes: 1,  // candidate pointer
+        contiguous_reads: sz, // weights along the row
+        scattered_reads: sz,  // mate flag of the opposite endpoint
+        contiguous_writes: 1, // candidate pointer
         flops: 2 * sz,
         ..Default::default()
     });
@@ -140,7 +140,12 @@ mod tests {
         // The paper's key asymmetry: matching gains far less than BP.
         let l = random_l(2000, 10, 2);
         let (_, stats, g) = simulate_matching(&l, &DeviceSpec::a100(), &ExecConfig::optimized());
-        let c = model_matching_time(&l, &stats, &DeviceSpec::epyc7702p(), &ExecConfig::optimized());
+        let c = model_matching_time(
+            &l,
+            &stats,
+            &DeviceSpec::epyc7702p(),
+            &ExecConfig::optimized(),
+        );
         let speedup = c.seconds / g.seconds;
         assert!(
             speedup > 1.0 && speedup < 8.0,

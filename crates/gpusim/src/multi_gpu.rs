@@ -38,12 +38,18 @@ pub struct Interconnect {
 impl Interconnect {
     /// NVLink 3 (HGX A100) defaults.
     pub fn nvlink3() -> Self {
-        Interconnect { link_gbps: 300.0, step_latency_s: 10e-6 }
+        Interconnect {
+            link_gbps: 300.0,
+            step_latency_s: 10e-6,
+        }
     }
 
     /// PCIe 4.0 x16 fallback.
     pub fn pcie4() -> Self {
-        Interconnect { link_gbps: 25.0, step_latency_s: 25e-6 }
+        Interconnect {
+            link_gbps: 25.0,
+            step_latency_s: 25e-6,
+        }
     }
 
     /// Ring all-gather time for `bytes` of payload across `g` devices.
@@ -53,8 +59,7 @@ impl Interconnect {
         }
         let steps = (g - 1) as f64;
         // Each step moves (bytes / g) per device along the ring.
-        steps * (bytes as f64 / g as f64) / (self.link_gbps * 1e9)
-            + steps * self.step_latency_s
+        steps * (bytes as f64 / g as f64) / (self.link_gbps * 1e9) + steps * self.step_latency_s
     }
 }
 

@@ -60,8 +60,8 @@ pub fn model_overlap_build(
         let staged = (2.0 * (sz.max(1) as f64).sqrt()).ceil() as usize;
         if shared_memory {
             Footprint {
-                contiguous_reads: staged, // one pass over each adjacency list
-                scattered_reads: sz,      // the E_L membership probes
+                contiguous_reads: staged,  // one pass over each adjacency list
+                scattered_reads: sz,       // the E_L membership probes
                 contiguous_writes: sz / 8, // hit ratio: only present pairs write
                 flops: 2 * sz,
                 ..Default::default()
@@ -77,7 +77,11 @@ pub fn model_overlap_build(
             }
         }
     });
-    OverlapBuildReport { seconds: stats.seconds, stats, shared_memory }
+    OverlapBuildReport {
+        seconds: stats.seconds,
+        stats,
+        shared_memory,
+    }
 }
 
 /// Builds `S` functionally (reference implementation) and models the
@@ -148,7 +152,14 @@ mod tests {
     #[test]
     fn gpu_outruns_cpu_on_large_builds() {
         let (a, b, l) = instance(3000, 3);
-        let g = model_overlap_build(&a, &b, &l, &DeviceSpec::a100(), &ExecConfig::optimized(), true);
+        let g = model_overlap_build(
+            &a,
+            &b,
+            &l,
+            &DeviceSpec::a100(),
+            &ExecConfig::optimized(),
+            true,
+        );
         let c = model_overlap_build(
             &a,
             &b,
@@ -157,6 +168,11 @@ mod tests {
             &ExecConfig::naive(),
             true,
         );
-        assert!(c.seconds > g.seconds, "cpu {} ≤ gpu {}", c.seconds, g.seconds);
+        assert!(
+            c.seconds > g.seconds,
+            "cpu {} ≤ gpu {}",
+            c.seconds,
+            g.seconds
+        );
     }
 }

@@ -69,7 +69,11 @@ pub fn table2_row(
     let cpu_dev = DeviceSpec::epyc7702p();
     // CPU baseline runs without SIMT-specific tricks; its exec config only
     // affects binning bookkeeping, which is a no-op at warp width 1.
-    let cpu_exec = ExecConfig { binning: false, virtual_warps: false, streams: false };
+    let cpu_exec = ExecConfig {
+        binning: false,
+        virtual_warps: false,
+        streams: false,
+    };
 
     let gpu_bp = model_bp_phase(l, s, cfg, &gpu_dev, exec);
     let cpu_bp = model_bp_phase(l, s, cfg, &cpu_dev, &cpu_exec);
@@ -120,7 +124,11 @@ mod tests {
         let (l, s) = instance(6000, 1);
         let row = table2_row(&l, &s, &BpConfig::default(), &ExecConfig::optimized());
         assert!(row.bp_speedup() > 1.0, "BP speedup {}", row.bp_speedup());
-        assert!(row.match_speedup() > 1.0, "match speedup {}", row.match_speedup());
+        assert!(
+            row.match_speedup() > 1.0,
+            "match speedup {}",
+            row.match_speedup()
+        );
         assert!(
             row.bp_speedup() > row.match_speedup(),
             "paper shape violated: BP {} ≤ match {}",

@@ -52,7 +52,11 @@ impl Binning {
             .iter()
             .enumerate()
             .map(|(i, &vw)| Bin {
-                lo: if i == 0 { 0 } else { VIRTUAL_WARP_SIZES[i - 1] as usize },
+                lo: if i == 0 {
+                    0
+                } else {
+                    VIRTUAL_WARP_SIZES[i - 1] as usize
+                },
                 hi: vw as usize,
                 virtual_warp: vw,
                 items: Vec::new(),

@@ -75,7 +75,7 @@ impl BipartiteGraph {
                 "edge ({a}, {b}) out of bounds for ({na}, {nb})"
             );
         }
-        sorted.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        sorted.sort_unstable_by_key(|x| (x.0, x.1));
         // Collapse duplicates, keeping the max weight.
         let mut edges: Vec<LEdge> = Vec::with_capacity(sorted.len());
         let mut weights: Vec<f64> = Vec::with_capacity(sorted.len());
@@ -247,9 +247,7 @@ impl BipartiteGraph {
     pub fn edge_id(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
         let r = self.a_offsets[a as usize]..self.a_offsets[a as usize + 1];
         let row = &self.a_targets[r.clone()];
-        row.binary_search(&b)
-            .ok()
-            .map(|i| self.a_eids[r.start + i])
+        row.binary_search(&b).ok().map(|i| self.a_eids[r.start + i])
     }
 
     /// Total weight of all edges.
@@ -268,7 +266,11 @@ impl BipartiteGraph {
             return Err("CSR offset totals wrong".into());
         }
         // Canonical list sorted by (a, b), no duplicates.
-        if !self.edges.windows(2).all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)) {
+        if !self
+            .edges
+            .windows(2)
+            .all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b))
+        {
             return Err("edge list not strictly sorted".into());
         }
         // Every A-side entry points back to the canonical edge, and vice versa.

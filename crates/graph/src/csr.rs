@@ -55,7 +55,11 @@ impl CsrGraph {
             offsets[i + 1] += offsets[i];
         }
         let targets = pairs.into_iter().map(|(_, v)| v).collect();
-        CsrGraph { n, offsets, targets }
+        CsrGraph {
+            n,
+            offsets,
+            targets,
+        }
     }
 
     /// A graph with `n` vertices and no edges.

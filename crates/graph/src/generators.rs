@@ -118,7 +118,7 @@ pub fn powerlaw_configuration<R: Rng>(
         // Keep every vertex attached at least once so the graph has no
         // isolated dust that would distort the degree distribution shape.
         count = count.max(1);
-        stubs.extend(std::iter::repeat(i as VertexId).take(count));
+        stubs.extend(std::iter::repeat_n(i as VertexId, count));
     }
     if stubs.len() % 2 == 1 {
         stubs.pop();
@@ -137,7 +137,10 @@ pub fn powerlaw_configuration<R: Rng>(
 /// its `k` nearest neighbors (k even), with each edge rewired with
 /// probability `p`.
 pub fn watts_strogatz<R: Rng>(n: usize, k: usize, p: f64, rng: &mut R) -> CsrGraph {
-    assert!(k % 2 == 0 && k >= 2, "lattice degree must be even and ≥ 2");
+    assert!(
+        k.is_multiple_of(2) && k >= 2,
+        "lattice degree must be even and ≥ 2"
+    );
     assert!(n > k, "need n > k");
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
     let dist = Uniform::new(0, n as VertexId);
@@ -173,12 +176,7 @@ pub fn watts_strogatz<R: Rng>(n: usize, k: usize, p: f64, rng: &mut R) -> CsrGra
 ///
 /// Produces the heavy-tailed, locally clustered topology characteristic of
 /// the paper's fly/human PPI inputs.
-pub fn duplication_divergence<R: Rng>(
-    n: usize,
-    retain: f64,
-    anchor: f64,
-    rng: &mut R,
-) -> CsrGraph {
+pub fn duplication_divergence<R: Rng>(n: usize, retain: f64, anchor: f64, rng: &mut R) -> CsrGraph {
     assert!(n >= 2);
     assert!((0.0..=1.0).contains(&retain) && (0.0..=1.0).contains(&anchor));
     // Grow an adjacency-list representation, then finalize as CSR.
@@ -289,7 +287,11 @@ mod tests {
         g.check_invariants().unwrap();
         // Preferential attachment must create a hub much larger than the
         // attachment count.
-        assert!(g.max_degree() > 15, "max degree {} too small", g.max_degree());
+        assert!(
+            g.max_degree() > 15,
+            "max degree {} too small",
+            g.max_degree()
+        );
         // Every non-seed vertex attached with k distinct edges.
         assert!(g.num_edges() >= (500 - 4) * 3);
     }

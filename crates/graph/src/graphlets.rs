@@ -79,18 +79,21 @@ fn credit_orbits(g: &CsrGraph, verts: &[VertexId], gdv: &mut [[u64; NUM_ORBITS]]
             // 4-vertex graphs; orbits follow from the internal degree.
             for (i, &v) in verts.iter().enumerate() {
                 let orbit = match (edge_count, degs[i]) {
-                    (3, 1) if degs.contains(&3) => 6, // claw leaf
-                    (3, 3) => 7,                      // claw center
-                    (3, 1) => 4,                      // P4 end
-                    (3, 2) => 5,                      // P4 middle
+                    (3, 1) if degs.contains(&3) => 6,  // claw leaf
+                    (3, 3) => 7,                       // claw center
+                    (3, 1) => 4,                       // P4 end
+                    (3, 2) => 5,                       // P4 middle
                     (4, 2) if !degs.contains(&3) => 8, // C4
-                    (4, 1) => 9,                      // paw tail
-                    (4, 3) => 10,                     // paw attachment
-                    (4, 2) => 11,                     // paw plain triangle vertex
-                    (5, 2) => 12,                     // diamond degree-2
-                    (5, 3) => 13,                     // diamond degree-3
-                    (6, 3) => 14,                     // K4
-                    _ => unreachable!("impossible induced 4-graph: {edge_count} edges, deg {}", degs[i]),
+                    (4, 1) => 9,                       // paw tail
+                    (4, 3) => 10,                      // paw attachment
+                    (4, 2) => 11,                      // paw plain triangle vertex
+                    (5, 2) => 12,                      // diamond degree-2
+                    (5, 3) => 13,                      // diamond degree-3
+                    (6, 3) => 14,                      // K4
+                    _ => unreachable!(
+                        "impossible induced 4-graph: {edge_count} edges, deg {}",
+                        degs[i]
+                    ),
                 };
                 gdv[v as usize][orbit] += 1;
             }
@@ -263,10 +266,10 @@ mod tests {
     fn triangle_graph() {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
         let gdv = graphlet_degree_vectors(&g);
-        for u in 0..3 {
-            assert_eq!(gdv[u][0], 2, "degree");
-            assert_eq!(gdv[u][3], 1, "one triangle");
-            assert_eq!(gdv[u][2], 0, "no open wedge");
+        for row in gdv.iter().take(3) {
+            assert_eq!(row[0], 2, "degree");
+            assert_eq!(row[3], 1, "one triangle");
+            assert_eq!(row[2], 0, "no open wedge");
         }
     }
 
@@ -285,8 +288,8 @@ mod tests {
     fn square_c4() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let gdv = graphlet_degree_vectors(&g);
-        for u in 0..4 {
-            assert_eq!(gdv[u][8], 1, "each vertex in one C4");
+        for row in gdv.iter().take(4) {
+            assert_eq!(row[8], 1, "each vertex in one C4");
         }
     }
 
@@ -294,10 +297,10 @@ mod tests {
     fn clique_k4_and_diamond() {
         let k4 = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let gdv = graphlet_degree_vectors(&k4);
-        for u in 0..4 {
-            assert_eq!(gdv[u][14], 1);
-            assert_eq!(gdv[u][3], 3, "three triangles per K4 vertex");
-            assert_eq!(gdv[u][8], 0, "no induced C4 in a clique");
+        for row in gdv.iter().take(4) {
+            assert_eq!(row[14], 1);
+            assert_eq!(row[3], 3, "three triangles per K4 vertex");
+            assert_eq!(row[8], 0, "no induced C4 in a clique");
         }
         // Diamond = K4 minus one edge (2–3).
         let dia = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]);
@@ -313,8 +316,8 @@ mod tests {
         let claw = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
         let gdv = graphlet_degree_vectors(&claw);
         assert_eq!(gdv[0][7], 1, "hub is the claw center");
-        for u in 1..4 {
-            assert_eq!(gdv[u][6], 1, "leaf orbit");
+        for row in gdv.iter().take(4).skip(1) {
+            assert_eq!(row[6], 1, "leaf orbit");
         }
         // Paw: triangle 0-1-2 with tail 3 at 0.
         let paw = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
@@ -334,7 +337,11 @@ mod tests {
         let ga = graphlet_degree_vectors(&a);
         let gb = graphlet_degree_vectors(&b);
         for u in 0..25u32 {
-            assert_eq!(ga[u as usize], gb[p.apply(u) as usize], "GDV not preserved at {u}");
+            assert_eq!(
+                ga[u as usize],
+                gb[p.apply(u) as usize],
+                "GDV not preserved at {u}"
+            );
         }
     }
 

@@ -66,18 +66,18 @@ pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: &mut W) -> io::Result<()>
 /// the alignment inputs are unweighted.
 pub fn read_metis<R: Read>(reader: R) -> io::Result<CsrGraph> {
     let reader = BufReader::new(reader);
-    let mut lines = reader
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| match l {
-            Ok(s) => {
-                let t = s.trim();
-                !t.is_empty() && !t.starts_with('%')
-            }
-            Err(_) => true,
-        });
+    let mut lines = reader.lines().enumerate().filter(|(_, l)| match l {
+        Ok(s) => {
+            let t = s.trim();
+            !t.is_empty() && !t.starts_with('%')
+        }
+        Err(_) => true,
+    });
     let (_, header) = lines.next().ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "empty METIS file: missing header")
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty METIS file: missing header",
+        )
     })?;
     let header = header?;
     let mut head = header.split_whitespace();
@@ -98,8 +98,7 @@ pub fn read_metis<R: Read>(reader: R) -> io::Result<CsrGraph> {
         }
     }
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m_declared);
-    let mut vertex: usize = 0;
-    for (lineno, line) in lines {
+    for (vertex, (lineno, line)) in lines.enumerate() {
         if vertex >= n {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -121,7 +120,6 @@ pub fn read_metis<R: Read>(reader: R) -> io::Result<CsrGraph> {
             }
             edges.push((vertex as VertexId, (nbr - 1) as VertexId));
         }
-        vertex += 1;
     }
     let g = CsrGraph::from_edges(n, &edges);
     if g.num_edges() != m_declared {
@@ -224,9 +222,18 @@ mod tests {
     #[test]
     fn metis_rejects_bad_input() {
         assert!(read_metis("".as_bytes()).is_err(), "missing header");
-        assert!(read_metis("2 1\n5\n\n".as_bytes()).is_err(), "neighbor out of range");
-        assert!(read_metis("2 9\n2\n1\n".as_bytes()).is_err(), "edge count mismatch");
-        assert!(read_metis("2 1 011\n2\n1\n".as_bytes()).is_err(), "weighted fmt");
+        assert!(
+            read_metis("2 1\n5\n\n".as_bytes()).is_err(),
+            "neighbor out of range"
+        );
+        assert!(
+            read_metis("2 9\n2\n1\n".as_bytes()).is_err(),
+            "edge count mismatch"
+        );
+        assert!(
+            read_metis("2 1 011\n2\n1\n".as_bytes()).is_err(),
+            "weighted fmt"
+        );
     }
 
     #[test]

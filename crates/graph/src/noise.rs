@@ -16,7 +16,10 @@ use std::collections::HashSet;
 /// noise level the experiment asks for, rather than the binomial
 /// approximation of independent per-edge deletion.
 pub fn remove_edges<R: Rng>(g: &CsrGraph, fraction: f64, rng: &mut R) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let mut edges = g.edge_list();
     let keep = edges.len() - ((edges.len() as f64) * fraction).floor() as usize;
     edges.shuffle(rng);

@@ -89,7 +89,11 @@ impl Permutation {
     /// Relabels every vertex of `g` through this permutation:
     /// edge `{u, v}` becomes `{P(u), P(v)}`.
     pub fn apply_to_graph(&self, g: &CsrGraph) -> CsrGraph {
-        assert_eq!(self.len(), g.num_vertices(), "permutation/graph size mismatch");
+        assert_eq!(
+            self.len(),
+            g.num_vertices(),
+            "permutation/graph size mismatch"
+        );
         let edges: Vec<(VertexId, VertexId)> = g
             .edges()
             .map(|(u, v)| (self.apply(u), self.apply(v)))
@@ -180,8 +184,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let inst = AlignmentInstance::permuted_pair(g, &mut rng);
-        let perfect: Vec<Option<VertexId>> =
-            (0..4).map(|i| Some(inst.truth.apply(i))).collect();
+        let perfect: Vec<Option<VertexId>> = (0..4).map(|i| Some(inst.truth.apply(i))).collect();
         assert!((inst.node_correctness(&perfect) - 1.0).abs() < 1e-12);
         let none: Vec<Option<VertexId>> = vec![None; 4];
         assert_eq!(inst.node_correctness(&none), 0.0);
@@ -197,7 +200,7 @@ mod tests {
     fn random_permutation_is_bijection() {
         let mut rng = StdRng::seed_from_u64(99);
         let p = Permutation::random(200, &mut rng);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for i in 0..200 {
             let x = p.apply(i) as usize;
             assert!(!seen[x]);

@@ -22,7 +22,12 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+        };
     }
     let degrees: Vec<usize> = (0..n as VertexId).map(|u| g.degree(u)).collect();
     let min = *degrees.iter().min().expect("non-empty");
@@ -33,7 +38,12 @@ pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
         .map(|&d| (d as f64 - mean).powi(2))
         .sum::<f64>()
         / n as f64;
-    DegreeStats { min, max, mean, std_dev: var.sqrt() }
+    DegreeStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
 }
 
 /// Degree histogram: `hist[d]` = number of vertices of degree `d`.

@@ -18,7 +18,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -133,7 +137,11 @@ impl DenseMatrix {
                 }
             }
         });
-        DenseMatrix { rows: m, cols: n, data: out }
+        DenseMatrix {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
     /// `selfᵀ · other` without materializing the transpose (`k × m` output
@@ -157,7 +165,11 @@ impl DenseMatrix {
                 }
             }
         }
-        DenseMatrix { rows: k, cols: n, data: out }
+        DenseMatrix {
+            rows: k,
+            cols: n,
+            data: out,
+        }
     }
 
     /// Element-wise scale in place.
@@ -169,26 +181,42 @@ impl DenseMatrix {
 
     /// `self + other`.
     pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()
             .zip(&other.data)
             .map(|(a, b)| a + b)
             .collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// `self - other`.
     pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()
             .zip(&other.data)
             .map(|(a, b)| a - b)
             .collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm.

@@ -84,7 +84,12 @@ pub fn symmetric_eigen(m: &DenseMatrix) -> SymmetricEigen {
     // Sort by |λ| descending.
     let mut order: Vec<usize> = (0..n).collect();
     let raw: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
-    order.sort_by(|&x, &y| raw[y].abs().partial_cmp(&raw[x].abs()).expect("finite eigenvalues"));
+    order.sort_by(|&x, &y| {
+        raw[y]
+            .abs()
+            .partial_cmp(&raw[x].abs())
+            .expect("finite eigenvalues")
+    });
     let mut values = Vec::with_capacity(n);
     let mut vectors = DenseMatrix::zeros(n, n);
     for (new_j, &old_j) in order.iter().enumerate() {
@@ -115,10 +120,7 @@ mod tests {
             }
         }
         // Ordered by |λ|.
-        assert!(e
-            .values
-            .windows(2)
-            .all(|w| w[0].abs() >= w[1].abs() - tol));
+        assert!(e.values.windows(2).all(|w| w[0].abs() >= w[1].abs() - tol));
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct SinkhornOptions {
 
 impl Default for SinkhornOptions {
     fn default() -> Self {
-        SinkhornOptions { epsilon: 0.05, max_iters: 500, tolerance: 1e-6 }
+        SinkhornOptions {
+            epsilon: 0.05,
+            max_iters: 500,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -132,7 +136,11 @@ pub fn sinkhorn(cost: &DenseMatrix, opts: &SinkhornOptions) -> TransportPlan {
             }
         });
 
-    TransportPlan { plan, iterations, marginal_error }
+    TransportPlan {
+        plan,
+        iterations,
+        marginal_error,
+    }
 }
 
 impl TransportPlan {
@@ -173,7 +181,14 @@ mod tests {
     #[test]
     fn marginals_are_satisfied() {
         let c = DenseMatrix::from_fn(5, 7, |i, j| ((i * 3 + j * 5) % 11) as f64 / 11.0);
-        let tp = sinkhorn(&c, &SinkhornOptions { epsilon: 0.1, max_iters: 2000, tolerance: 1e-10 });
+        let tp = sinkhorn(
+            &c,
+            &SinkhornOptions {
+                epsilon: 0.1,
+                max_iters: 2000,
+                tolerance: 1e-10,
+            },
+        );
         for i in 0..5 {
             let rs: f64 = tp.plan.row(i).iter().sum();
             assert!((rs - 0.2).abs() < 1e-6, "row {i} sums to {rs}");
@@ -190,7 +205,14 @@ mod tests {
         // permutation, high elsewhere.
         let perm = [2usize, 0, 3, 1];
         let c = DenseMatrix::from_fn(4, 4, |i, j| if perm[i] == j { 0.0 } else { 1.0 });
-        let tp = sinkhorn(&c, &SinkhornOptions { epsilon: 0.02, max_iters: 3000, tolerance: 1e-9 });
+        let tp = sinkhorn(
+            &c,
+            &SinkhornOptions {
+                epsilon: 0.02,
+                max_iters: 3000,
+                tolerance: 1e-9,
+            },
+        );
         assert_eq!(tp.argmax_rows(), perm.to_vec());
     }
 
@@ -214,6 +236,13 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn rejects_nonpositive_epsilon() {
         let c = uniform_cost(2);
-        let _ = sinkhorn(&c, &SinkhornOptions { epsilon: 0.0, max_iters: 10, tolerance: 1e-6 });
+        let _ = sinkhorn(
+            &c,
+            &SinkhornOptions {
+                epsilon: 0.0,
+                max_iters: 10,
+                tolerance: 1e-6,
+            },
+        );
     }
 }

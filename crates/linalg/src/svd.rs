@@ -158,7 +158,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn assert_valid_svd(a: &DenseMatrix, svd: &Svd, tol: f64) {
-        assert!(svd.reconstruct().sub(a).max_abs() < tol, "reconstruction off");
+        assert!(
+            svd.reconstruct().sub(a).max_abs() < tol,
+            "reconstruction off"
+        );
         assert!(svd.u.is_orthonormal(tol), "U not orthonormal");
         assert!(svd.v.is_orthonormal(tol), "V not orthonormal");
         assert!(
@@ -198,8 +201,8 @@ mod tests {
     #[test]
     fn rank_deficient() {
         // Rank-1 outer product.
-        let u = vec![1.0, 2.0, 3.0, 4.0];
-        let v = vec![1.0, -1.0, 0.5];
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [1.0, -1.0, 0.5];
         let a = DenseMatrix::from_fn(4, 3, |i, j| u[i] * v[j]);
         let svd = jacobi_svd(&a);
         assert_valid_svd(&a, &svd, 1e-9);

@@ -94,7 +94,12 @@ mod tests {
 
     /// Exhaustive maximum-weight matching for tiny graphs.
     fn brute_force_max_weight(l: &BipartiteGraph) -> f64 {
-        fn rec(l: &BipartiteGraph, e: usize, used_a: &mut Vec<bool>, used_b: &mut Vec<bool>) -> f64 {
+        fn rec(
+            l: &BipartiteGraph,
+            e: usize,
+            used_a: &mut Vec<bool>,
+            used_b: &mut Vec<bool>,
+        ) -> f64 {
             if e == l.num_edges() {
                 return 0.0;
             }

@@ -20,7 +20,10 @@ use cualign_graph::BipartiteGraph;
 /// for the full-size inputs (use the locally dominant matchers there).
 pub fn hungarian_matching(l: &BipartiteGraph) -> Matching {
     let n = l.na().max(l.nb());
-    assert!(n <= 4096, "hungarian oracle capped at 4096 vertices (got {n})");
+    assert!(
+        n <= 4096,
+        "hungarian oracle capped at 4096 vertices (got {n})"
+    );
     if n == 0 {
         return Matching::empty(l);
     }
@@ -91,8 +94,7 @@ pub fn hungarian_matching(l: &BipartiteGraph) -> Matching {
 
     // Extract: column j holds row p[j]; keep only real, positive edges.
     let mut chosen = Vec::new();
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().skip(1) {
         if i == 0 {
             continue;
         }
@@ -142,7 +144,11 @@ mod tests {
             &[(0, 0, 10.0), (0, 1, 9.0), (1, 0, 9.0), (1, 1, 1.0)],
         );
         let m = hungarian_matching(&l);
-        assert!((m.weight(&l) - 18.0).abs() < 1e-9, "weight {}", m.weight(&l));
+        assert!(
+            (m.weight(&l) - 18.0).abs() < 1e-9,
+            "weight {}",
+            m.weight(&l)
+        );
     }
 
     #[test]
@@ -157,7 +163,10 @@ mod tests {
             ] {
                 let w = m.weight(&l);
                 assert!(w <= opt + 1e-9, "heuristic {w} beat optimum {opt}");
-                assert!(w >= 0.5 * opt - 1e-9, "below half-approximation: {w} vs {opt}");
+                assert!(
+                    w >= 0.5 * opt - 1e-9,
+                    "below half-approximation: {w} vs {opt}"
+                );
             }
         }
     }

@@ -28,9 +28,9 @@ fn candidate(l: &BipartiteGraph, matched: &[bool], gv: usize) -> Option<EdgeId> 
     let na = l.na();
     let mut best: Option<EdgeId> = None;
     let mut consider = |e: EdgeId, other_gv: usize| {
-        // `!(w > 0)` rather than `w <= 0`: NaN fails every comparison,
-        // so this form also excludes NaN-weighted edges.
-        if !(l.weights()[e as usize] > 0.0) || matched[other_gv] {
+        // NaN-weighted edges are excluded along with non-positive ones.
+        let w = l.weights()[e as usize];
+        if w <= 0.0 || w.is_nan() || matched[other_gv] {
             return;
         }
         match best {
@@ -136,11 +136,7 @@ mod tests {
     #[test]
     fn picks_heaviest_in_conflict() {
         // A0 can match B0 (w=1) or B1 (w=5); A1 can match B1 (w=2).
-        let l = BipartiteGraph::from_weighted_edges(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 5.0), (1, 1, 2.0)],
-        );
+        let l = BipartiteGraph::from_weighted_edges(2, 2, &[(0, 0, 1.0), (0, 1, 5.0), (1, 1, 2.0)]);
         let m = locally_dominant_serial(&l);
         assert_eq!(m.mate_of_a(0), Some(1));
         // Once A0–B1 is committed, A1's only option (B1) is taken and A0's
@@ -173,11 +169,8 @@ mod tests {
 
     #[test]
     fn ignores_nonpositive_edges() {
-        let l = BipartiteGraph::from_weighted_edges(
-            2,
-            2,
-            &[(0, 0, -1.0), (0, 1, 0.0), (1, 1, 4.0)],
-        );
+        let l =
+            BipartiteGraph::from_weighted_edges(2, 2, &[(0, 0, -1.0), (0, 1, 0.0), (1, 1, 4.0)]);
         let m = locally_dominant_serial(&l);
         assert_eq!(m.len(), 1);
         assert_eq!(m.mate_of_a(1), Some(1));

@@ -37,7 +37,11 @@ impl Matching {
             mate_a[le.a as usize] = Some(le.b);
             mate_b[le.b as usize] = Some(le.a);
         }
-        Matching { mate_a, mate_b, edges: ids }
+        Matching {
+            mate_a,
+            mate_b,
+            edges: ids,
+        }
     }
 
     /// The empty matching on `l`'s vertex sets.

@@ -68,8 +68,9 @@ fn compute_candidate(l: &BipartiteGraph, matched: &[bool], gv: usize) -> EdgeId 
     let na = l.na();
     let mut best = EDGE_NONE;
     let mut consider = |e: EdgeId, other: usize| {
-        // `!(w > 0)` also excludes NaN (all NaN comparisons are false).
-        if !(l.weights()[e as usize] > 0.0) || matched[other] {
+        // NaN-weighted edges are excluded along with non-positive ones.
+        let w = l.weights()[e as usize];
+        if w <= 0.0 || w.is_nan() || matched[other] {
             return;
         }
         if best == EDGE_NONE || prefer(l, e, best) {
@@ -105,7 +106,11 @@ pub fn locally_dominant_parallel_with_stats(l: &BipartiteGraph) -> (Matching, Ma
         .map(|gv| compute_candidate(l, &matched, gv))
         .collect();
     let mut chosen: Vec<EdgeId> = Vec::new();
-    let mut stats = MatchStats { rounds: 0, recomputations: nv, detail: Vec::new() };
+    let mut stats = MatchStats {
+        rounds: 0,
+        recomputations: nv,
+        detail: Vec::new(),
+    };
 
     // Initial pointer phase: commit every mutual pair. A-side reports.
     let mut newly: Vec<EdgeId> = (0..na)
@@ -143,12 +148,12 @@ pub fn locally_dominant_parallel_with_stats(l: &BipartiteGraph) -> (Matching, Ma
             .flat_map_iter(|&gv| {
                 let na = l.na();
                 let iter: Box<dyn Iterator<Item = usize>> = if gv < na {
-                    Box::new(l.incident_a(gv as VertexId).map(move |(b, _)| na + b as usize))
-                } else {
                     Box::new(
-                        l.incident_b((gv - na) as VertexId)
-                            .map(|(a, _)| a as usize),
+                        l.incident_a(gv as VertexId)
+                            .map(move |(b, _)| na + b as usize),
                     )
+                } else {
+                    Box::new(l.incident_b((gv - na) as VertexId).map(|(a, _)| a as usize))
                 };
                 iter
             })

@@ -47,8 +47,9 @@ pub fn suitor_matching(l: &BipartiteGraph) -> Matching {
         let mut best: EdgeId = EDGE_NONE;
         if u < na {
             for (_, e) in l.incident_a(u as VertexId) {
-                // `!(w > 0)` also excludes NaN.
-                if !(l.weights()[e as usize] > 0.0) {
+                // NaN-weighted edges are excluded along with non-positive ones.
+                let w = l.weights()[e as usize];
+                if w <= 0.0 || w.is_nan() {
                     continue;
                 }
                 let v = other_gv(e, u);
@@ -60,8 +61,9 @@ pub fn suitor_matching(l: &BipartiteGraph) -> Matching {
             }
         } else {
             for (_, e) in l.incident_b((u - na) as VertexId) {
-                // `!(w > 0)` also excludes NaN.
-                if !(l.weights()[e as usize] > 0.0) {
+                // NaN-weighted edges are excluded along with non-positive ones.
+                let w = l.weights()[e as usize];
+                if w <= 0.0 || w.is_nan() {
                     continue;
                 }
                 let v = other_gv(e, u);

@@ -10,11 +10,8 @@ use cualign_matching::{
 
 #[test]
 fn nan_weights_are_ignored() {
-    let l = BipartiteGraph::from_weighted_edges(
-        2,
-        2,
-        &[(0, 0, f64::NAN), (0, 1, 1.0), (1, 0, 2.0)],
-    );
+    let l =
+        BipartiteGraph::from_weighted_edges(2, 2, &[(0, 0, f64::NAN), (0, 1, 1.0), (1, 0, 2.0)]);
     for m in [
         locally_dominant_serial(&l),
         locally_dominant_parallel(&l),

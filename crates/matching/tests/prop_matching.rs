@@ -13,11 +13,8 @@ use proptest::prelude::*;
 /// and zero weights and duplicate pairs.
 fn bipartite() -> impl Strategy<Value = BipartiteGraph> {
     (1usize..12, 1usize..12).prop_flat_map(|(na, nb)| {
-        prop::collection::vec(
-            (0..na as u32, 0..nb as u32, -2.0f64..8.0),
-            0..60,
-        )
-        .prop_map(move |t| BipartiteGraph::from_weighted_edges(na, nb, &t))
+        prop::collection::vec((0..na as u32, 0..nb as u32, -2.0f64..8.0), 0..60)
+            .prop_map(move |t| BipartiteGraph::from_weighted_edges(na, nb, &t))
     })
 }
 

@@ -94,7 +94,11 @@ impl OverlapMatrix {
             })
             .collect();
 
-        OverlapMatrix { row_offsets, col_idx, transpose_perm }
+        OverlapMatrix {
+            row_offsets,
+            col_idx,
+            transpose_perm,
+        }
     }
 
     /// Number of rows (= `|E_L|`).
@@ -260,8 +264,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let a = erdos_renyi_gnm(20, 50, &mut rng);
         let b = a.clone();
-        let triples: Vec<(VertexId, VertexId, f64)> =
-            (0..20).map(|i| (i, i, 1.0)).collect();
+        let triples: Vec<(VertexId, VertexId, f64)> = (0..20).map(|i| (i, i, 1.0)).collect();
         let l = BipartiteGraph::from_weighted_edges(20, 20, &triples);
         let s = OverlapMatrix::build(&a, &b, &l);
         let mask = vec![true; l.num_edges()];

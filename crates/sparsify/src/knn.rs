@@ -51,9 +51,7 @@ pub fn knn_candidates(
                 .map(|t| (vecops::cosine_similarity(qrow, targets.row(t)), t))
                 .collect();
             // Descending similarity, ascending id on ties.
-            scored.select_nth_unstable_by(keep - 1, |x, y| {
-                y.0.total_cmp(&x.0).then(x.1.cmp(&y.1))
-            });
+            scored.select_nth_unstable_by(keep - 1, |x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
             scored.truncate(keep);
             scored
                 .into_iter()
@@ -79,16 +77,8 @@ mod tests {
 
     fn axis_embeddings() -> (DenseMatrix, DenseMatrix) {
         // A rows: e0, e1, e2. B rows: e1, e0, e2 (swapped first two).
-        let ya = DenseMatrix::from_vec(
-            3,
-            3,
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-        );
-        let yb = DenseMatrix::from_vec(
-            3,
-            3,
-            vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
-        );
+        let ya = DenseMatrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        let yb = DenseMatrix::from_vec(3, 3, vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
         (ya, yb)
     }
 

@@ -159,6 +159,9 @@ mod tests {
         let (ya, yb) = planted_embeddings(200, 8, 0.3, 6);
         let l = build_alignment_graph_density(&ya, &yb, 0.05);
         let density = l.num_edges() as f64 / (200.0 * 200.0);
-        assert!(density >= 0.04 && density <= 0.11, "realized density {density}");
+        assert!(
+            (0.04..=0.11).contains(&density),
+            "realized density {density}"
+        );
     }
 }

@@ -60,7 +60,10 @@ pub fn build_with(ya: &DenseMatrix, yb: &DenseMatrix, rule: &Sparsifier) -> Bipa
                 .collect();
             BipartiteGraph::from_weighted_edges(ya.rows(), yb.rows(), &mutual)
         }
-        Sparsifier::Threshold { min_weight, cap_per_vertex } => {
+        Sparsifier::Threshold {
+            min_weight,
+            cap_per_vertex,
+        } => {
             assert!(cap_per_vertex > 0, "cap must be positive");
             let nb = yb.rows();
             let triples: Vec<(VertexId, VertexId, f64)> = (0..ya.rows())
@@ -70,8 +73,11 @@ pub fn build_with(ya: &DenseMatrix, yb: &DenseMatrix, rule: &Sparsifier) -> Bipa
                     let mut kept: Vec<(VertexId, VertexId, f64)> = (0..nb)
                         .filter_map(|b| {
                             let w = (1.0 + vecops::cosine_similarity(arow, yb.row(b))) / 2.0;
-                            (w >= min_weight)
-                                .then_some((a as VertexId, b as VertexId, w.max(f64::MIN_POSITIVE)))
+                            (w >= min_weight).then_some((
+                                a as VertexId,
+                                b as VertexId,
+                                w.max(f64::MIN_POSITIVE),
+                            ))
                         })
                         .collect();
                     if kept.len() > cap_per_vertex {
@@ -109,7 +115,10 @@ mod tests {
         let mutual = build_with(&ya, &yb, &Sparsifier::MutualKnn { k: 4 });
         assert!(mutual.num_edges() <= union.num_edges());
         for le in mutual.edges() {
-            assert!(union.edge_id(le.a, le.b).is_some(), "mutual edge missing from union");
+            assert!(
+                union.edge_id(le.a, le.b).is_some(),
+                "mutual edge missing from union"
+            );
         }
         mutual.check_invariants().unwrap();
     }
@@ -126,7 +135,10 @@ mod tests {
     #[test]
     fn threshold_respects_cutoff_and_cap() {
         let (ya, yb) = planted(40, 8, 0.5, 3);
-        let rule = Sparsifier::Threshold { min_weight: 0.8, cap_per_vertex: 5 };
+        let rule = Sparsifier::Threshold {
+            min_weight: 0.8,
+            cap_per_vertex: 5,
+        };
         let l = build_with(&ya, &yb, &rule);
         l.check_invariants().unwrap();
         for &w in l.weights() {
@@ -142,7 +154,14 @@ mod tests {
         let (ya, _) = planted(10, 4, 0.0, 4);
         let yb = ya.clone();
         // min_weight 0 keeps everything up to the cap.
-        let l = build_with(&ya, &yb, &Sparsifier::Threshold { min_weight: 0.0, cap_per_vertex: 100 });
+        let l = build_with(
+            &ya,
+            &yb,
+            &Sparsifier::Threshold {
+                min_weight: 0.0,
+                cap_per_vertex: 100,
+            },
+        );
         assert_eq!(l.num_edges(), 100);
         // The diagonal has weight 1 (identical rows).
         for i in 0..10u32 {

@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_dataset
 //! ```
 
-use cualign::{Aligner, AlignerConfig, SparsityChoice};
+use cualign::{Aligner, AlignerConfig};
 use cualign_graph::generators::duplication_divergence;
 use cualign_graph::{io, Permutation};
 use rand::rngs::StdRng;
@@ -35,10 +35,14 @@ fn main() -> std::io::Result<()> {
     // The real workflow starts here: load, align, persist the mapping.
     let ga = io::load_edge_list(&path_a)?;
     let gb = io::load_edge_list(&path_b)?;
-    let mut cfg = AlignerConfig::default();
-    cfg.sparsity = SparsityChoice::Density(0.02);
-    cfg.bp.max_iters = 15;
-    let result = Aligner::new(cfg).align(&ga, &gb);
+    let cfg = AlignerConfig::builder()
+        .density(0.02)
+        .bp_iters(15)
+        .build()
+        .expect("example parameters are in range");
+    let result = Aligner::new(cfg)
+        .align(&ga, &gb)
+        .expect("loaded graphs are non-degenerate");
 
     let mut out = std::fs::File::create(&path_map)?;
     writeln!(out, "# cuAlign mapping: vertex_of_A <TAB> vertex_of_B")?;

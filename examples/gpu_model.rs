@@ -11,11 +11,11 @@
 use cualign::{Aligner, AlignerConfig, SparsityChoice};
 use cualign_bp::BpConfig;
 use cualign_embed::align_subspaces;
-use cualign_graph::generators::duplication_divergence;
-use cualign_graph::permutation::AlignmentInstance;
 use cualign_gpusim::bp_gpu::model_bp_iteration;
 use cualign_gpusim::report::table2_row;
 use cualign_gpusim::{DeviceSpec, ExecConfig};
+use cualign_graph::generators::duplication_divergence;
+use cualign_graph::permutation::AlignmentInstance;
 use cualign_overlap::OverlapMatrix;
 use cualign_sparsify::build_alignment_graph;
 use rand::rngs::StdRng;
@@ -66,8 +66,22 @@ fn main() {
     let configs = [
         ("all optimizations", ExecConfig::optimized(), true),
         ("no fusion", ExecConfig::optimized(), false),
-        ("no streams", ExecConfig { streams: false, ..ExecConfig::optimized() }, true),
-        ("no virtual warps", ExecConfig { virtual_warps: false, ..ExecConfig::optimized() }, true),
+        (
+            "no streams",
+            ExecConfig {
+                streams: false,
+                ..ExecConfig::optimized()
+            },
+            true,
+        ),
+        (
+            "no virtual warps",
+            ExecConfig {
+                virtual_warps: false,
+                ..ExecConfig::optimized()
+            },
+            true,
+        ),
         ("naive (none)", ExecConfig::naive(), false),
     ];
     for (label, exec, fused) in configs {
@@ -98,7 +112,9 @@ fn main() {
     );
 
     // Sanity: the simulated numerics are the reference numerics.
-    let result = Aligner::new(cfg).align(&inst.a, &inst.b);
+    let result = Aligner::new(cfg)
+        .align(&inst.a, &inst.b)
+        .expect("generated inputs are non-degenerate");
     println!(
         "\nfunctional result unchanged by the model: NCV-GS3 = {:.4} (best BP iter {})",
         result.scores.ncv_gs3, result.bp.best_iteration

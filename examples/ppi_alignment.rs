@@ -13,11 +13,11 @@
 //! cargo run --release --example ppi_alignment
 //! ```
 
-use cualign::{cone_align, Aligner, AlignerConfig, SparsityChoice};
+use cualign::{cone_align_session, AlignerConfig, AlignmentSession};
+use cualign_graph::generators::duplication_divergence;
 use cualign_graph::noise::rewire;
 use cualign_graph::stats::{degree_stats, global_clustering};
 use cualign_graph::Permutation;
-use cualign_graph::generators::duplication_divergence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,11 +37,16 @@ fn main() {
         global_clustering(&a)
     );
 
-    let mut cfg = AlignerConfig::default();
-    cfg.sparsity = SparsityChoice::Density(0.025);
-    cfg.bp.max_iters = 20;
+    let cfg = AlignerConfig::builder()
+        .density(0.025)
+        .bp_iters(20)
+        .build()
+        .expect("paper operating point is in range");
 
-    println!("\n{:>7} | {:>14} | {:>14} | {:>8}", "noise", "cuAlign NCVGS3", "cone NCV-GS3", "delta");
+    println!(
+        "\n{:>7} | {:>14} | {:>14} | {:>8}",
+        "noise", "cuAlign NCVGS3", "cone NCV-GS3", "delta"
+    );
     println!("{}", "-".repeat(55));
     for noise_pct in [0.0, 0.02, 0.05, 0.10] {
         // B = rewire(P(A)): same permutation protocol as the paper, plus
@@ -50,8 +55,12 @@ fn main() {
         let b0 = p.apply_to_graph(&a);
         let b = rewire(&b0, noise_pct, &mut rng);
 
-        let cu = Aligner::new(cfg.clone()).align(&a, &b);
-        let cone = cone_align(&a, &b, &cfg);
+        // One session per instance: cuAlign runs the full pipeline, then
+        // cone-align rounds the same cached candidate graph L.
+        let mut session = AlignmentSession::new(&a, &b, cfg.clone())
+            .expect("generated inputs are non-degenerate");
+        let cu = session.align().expect("density 2.5% yields non-empty L");
+        let cone = cone_align_session(&mut session).expect("L is cached and non-empty");
         let delta = if cone.scores.ncv_gs3 > 0.0 {
             100.0 * (cu.scores.ncv_gs3 - cone.scores.ncv_gs3) / cone.scores.ncv_gs3
         } else {

@@ -23,23 +23,35 @@ fn main() {
         inst.a.num_edges()
     );
 
-    // 2. Configure the aligner. The default is the paper's operating
-    //    point (2.5% density); we pin an explicit k here for illustration.
-    let mut cfg = AlignerConfig::default();
-    cfg.sparsity = SparsityChoice::K(10);
-    cfg.bp.max_iters = 15;
+    // 2. Configure the aligner through the validating builder. The
+    //    default is the paper's operating point (2.5% density); we pin an
+    //    explicit k here for illustration.
+    let cfg = AlignerConfig::builder()
+        .sparsity(SparsityChoice::K(10))
+        .bp_iters(15)
+        .build()
+        .expect("k = 10 and 15 iterations are in range");
 
     // 3. Align.
-    let result = Aligner::new(cfg).align(&inst.a, &inst.b);
+    let result = Aligner::new(cfg)
+        .align(&inst.a, &inst.b)
+        .expect("generated inputs are non-degenerate");
 
     // 4. Inspect quality.
     println!("\nalignment quality:");
-    println!("  conserved edges   : {} / {}", result.scores.conserved_edges, inst.a.num_edges());
+    println!(
+        "  conserved edges   : {} / {}",
+        result.scores.conserved_edges,
+        inst.a.num_edges()
+    );
     println!("  EC  (edge correctness)       : {:.4}", result.scores.ec);
     println!("  ICS (induced conserved)      : {:.4}", result.scores.ics);
     println!("  S3  (symmetric substructure) : {:.4}", result.scores.s3);
     println!("  NCV (node coverage)          : {:.4}", result.scores.ncv);
-    println!("  NCV-GS3 (paper's metric)     : {:.4}", result.scores.ncv_gs3);
+    println!(
+        "  NCV-GS3 (paper's metric)     : {:.4}",
+        result.scores.ncv_gs3
+    );
 
     // 5. Against the hidden ground truth.
     let correct = inst.node_correctness(&result.mapping);

@@ -18,7 +18,11 @@ use rand::SeedableRng;
 
 /// Builds the pipeline front half on a permuted pair, returning
 /// `(A, B, L, truth)`.
-fn front_half(n: usize, seed: u64, k: usize) -> (CsrGraph, CsrGraph, BipartiteGraph, AlignmentInstance) {
+fn front_half(
+    n: usize,
+    seed: u64,
+    k: usize,
+) -> (CsrGraph, CsrGraph, BipartiteGraph, AlignmentInstance) {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = duplication_divergence(n, 0.42, 0.3, &mut rng);
     let inst = AlignmentInstance::permuted_pair(a.clone(), &mut rng);
@@ -103,10 +107,15 @@ fn ground_truth_overlap_consistency() {
 fn bp_outcome_consistency_on_pipeline_data() {
     let (a, b, l, _) = front_half(120, 4, 6);
     let s = OverlapMatrix::build(&a, &b, &l);
-    let cfg = BpConfig { max_iters: 10, ..Default::default() };
+    let cfg = BpConfig {
+        max_iters: 10,
+        ..Default::default()
+    };
     let out = BpEngine::new(&l, &s, &cfg).run();
     assert_eq!(out.history.len(), 11); // 10 + iteration-0 direct rounding
-    out.best_matching.check_valid(&l).expect("best matching valid");
+    out.best_matching
+        .check_valid(&l)
+        .expect("best matching valid");
     // Re-evaluate the reported best matching; numbers must agree.
     let (score, weight, overlaps) =
         evaluate_matching(l.weights(), &s, &out.best_matching, cfg.alpha, cfg.beta);
@@ -114,7 +123,11 @@ fn bp_outcome_consistency_on_pipeline_data() {
     assert_eq!(weight, out.best_weight);
     assert_eq!(overlaps, out.best_overlaps);
     // History's max is the best.
-    let hist_max = out.history.iter().map(|r| r.score).fold(f64::NEG_INFINITY, f64::max);
+    let hist_max = out
+        .history
+        .iter()
+        .map(|r| r.score)
+        .fold(f64::NEG_INFINITY, f64::max);
     assert_eq!(hist_max, out.best_score);
 }
 

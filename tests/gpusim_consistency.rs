@@ -6,13 +6,13 @@
 use cualign::{AlignerConfig, SparsityChoice};
 use cualign_bp::{BpConfig, BpEngine};
 use cualign_embed::align_subspaces;
-use cualign_graph::generators::duplication_divergence;
-use cualign_graph::permutation::AlignmentInstance;
-use cualign_graph::BipartiteGraph;
 use cualign_gpusim::bp_gpu::{model_bp_iteration, simulate_bp};
 use cualign_gpusim::match_gpu::simulate_matching;
 use cualign_gpusim::report::table2_row;
 use cualign_gpusim::{DeviceSpec, ExecConfig};
+use cualign_graph::generators::duplication_divergence;
+use cualign_graph::permutation::AlignmentInstance;
+use cualign_graph::BipartiteGraph;
 use cualign_matching::locally_dominant_serial;
 use cualign_overlap::OverlapMatrix;
 use cualign_sparsify::build_alignment_graph;
@@ -40,7 +40,10 @@ fn pipeline_structures(n: usize, seed: u64, k: usize) -> (BipartiteGraph, Overla
 #[test]
 fn simulation_never_changes_results() {
     let (l, s) = pipeline_structures(150, 1, 6);
-    let cfg = BpConfig { max_iters: 6, ..Default::default() };
+    let cfg = BpConfig {
+        max_iters: 6,
+        ..Default::default()
+    };
     let reference = BpEngine::new(&l, &s, &cfg).run();
     for device in [DeviceSpec::a100(), DeviceSpec::epyc7702p()] {
         for exec in [ExecConfig::optimized(), ExecConfig::naive()] {
@@ -83,7 +86,10 @@ fn optimization_orderings_hold() {
         &s,
         true,
         &gpu,
-        &ExecConfig { streams: false, ..opt },
+        &ExecConfig {
+            streams: false,
+            ..opt
+        },
     );
     assert!(fused <= no_streams, "streams must not hurt");
 
@@ -103,7 +109,11 @@ fn cpu_model_ignores_simt_toggles() {
         &s,
         true,
         &cpu,
-        &ExecConfig { virtual_warps: false, binning: false, streams: false },
+        &ExecConfig {
+            virtual_warps: false,
+            binning: false,
+            streams: false,
+        },
     );
     // Binning only changes launch counts; allow the overhead delta.
     let tol = 64.0 * cpu.launch_overhead_s;

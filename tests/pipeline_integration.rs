@@ -13,13 +13,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn test_cfg() -> AlignerConfig {
-    let mut cfg = AlignerConfig::default();
-    cfg.embedding = EmbeddingMethod::Spectral(SpectralConfig {
-        dim: 24,
-        oversample: 12,
-        ..Default::default()
-    });
-    cfg.sparsity = SparsityChoice::K(8);
+    let mut cfg = AlignerConfig {
+        embedding: EmbeddingMethod::Spectral(SpectralConfig {
+            dim: 24,
+            oversample: 12,
+            ..Default::default()
+        }),
+        sparsity: SparsityChoice::K(8),
+        ..AlignerConfig::default()
+    };
     cfg.bp.max_iters = 12;
     cfg.subspace.anchors = 0;
     cfg
@@ -34,11 +36,15 @@ fn aligns_across_graph_families() {
         ("erdos-renyi", erdos_renyi_gnm(200, 600, &mut rng), 0.55),
         ("barabasi-albert", barabasi_albert(200, 3, &mut rng), 0.5),
         ("watts-strogatz", watts_strogatz(200, 6, 0.1, &mut rng), 0.5),
-        ("duplication-divergence", duplication_divergence(200, 0.45, 0.3, &mut rng), 0.5),
+        (
+            "duplication-divergence",
+            duplication_divergence(200, 0.45, 0.3, &mut rng),
+            0.5,
+        ),
     ];
     for (name, g, threshold) in graphs {
         let inst = AlignmentInstance::permuted_pair(g, &mut rng);
-        let r = Aligner::new(test_cfg()).align(&inst.a, &inst.b);
+        let r = Aligner::new(test_cfg()).align(&inst.a, &inst.b).unwrap();
         assert!(
             r.scores.ncv_gs3 > threshold,
             "{name}: NCV-GS3 {} below {threshold}",
@@ -56,8 +62,8 @@ fn cualign_dominates_conealign_across_seeds() {
         let a = duplication_divergence(150, 0.42, 0.3, &mut rng);
         let inst = AlignmentInstance::permuted_pair(a, &mut rng);
         let cfg = test_cfg();
-        let cu = Aligner::new(cfg.clone()).align(&inst.a, &inst.b);
-        let cone = cone_align(&inst.a, &inst.b, &cfg);
+        let cu = Aligner::new(cfg.clone()).align(&inst.a, &inst.b).unwrap();
+        let cone = cone_align(&inst.a, &inst.b, &cfg).unwrap();
         assert!(
             cu.scores.conserved_edges >= cone.scores.conserved_edges,
             "seed {seed}: cuAlign conserved {} < cone-align {}",
@@ -74,7 +80,7 @@ fn bp_overlaps_agree_with_scoring() {
     let mut rng = StdRng::seed_from_u64(5);
     let a = erdos_renyi_gnm(120, 360, &mut rng);
     let inst = AlignmentInstance::permuted_pair(a, &mut rng);
-    let r = Aligner::new(test_cfg()).align(&inst.a, &inst.b);
+    let r = Aligner::new(test_cfg()).align(&inst.a, &inst.b).unwrap();
     assert_eq!(
         r.bp.best_overlaps, r.scores.conserved_edges,
         "S-based overlap count and mapping-based conserved count disagree"
@@ -90,10 +96,20 @@ fn matcher_choice_is_equivalent() {
     let a = erdos_renyi_gnm(100, 300, &mut rng);
     let inst = AlignmentInstance::permuted_pair(a, &mut rng);
     let mut results = Vec::new();
-    for matcher in [MatcherKind::Serial, MatcherKind::Parallel, MatcherKind::Greedy] {
+    for matcher in [
+        MatcherKind::Serial,
+        MatcherKind::Parallel,
+        MatcherKind::Greedy,
+    ] {
         let mut cfg = test_cfg();
         cfg.bp.matcher = matcher;
-        results.push(Aligner::new(cfg).align(&inst.a, &inst.b).bp.best_score);
+        results.push(
+            Aligner::new(cfg)
+                .align(&inst.a, &inst.b)
+                .unwrap()
+                .bp
+                .best_score,
+        );
     }
     assert_eq!(results[0], results[1]);
     assert_eq!(results[1], results[2]);
@@ -109,8 +125,8 @@ fn density_and_k_equivalence() {
     cfg_k.sparsity = SparsityChoice::K(5);
     let mut cfg_d = test_cfg();
     cfg_d.sparsity = SparsityChoice::Density(0.05); // 0.05 · 100 = 5
-    let rk = Aligner::new(cfg_k).align(&inst.a, &inst.b);
-    let rd = Aligner::new(cfg_d).align(&inst.a, &inst.b);
+    let rk = Aligner::new(cfg_k).align(&inst.a, &inst.b).unwrap();
+    let rd = Aligner::new(cfg_d).align(&inst.a, &inst.b).unwrap();
     assert_eq!(rk.l_edges, rd.l_edges);
     assert_eq!(rk.scores, rd.scores);
 }
@@ -127,7 +143,7 @@ fn edgeless_graphs_do_not_panic() {
         oversample: 4,
         ..Default::default()
     });
-    let r = Aligner::new(cfg).align(&a, &b);
+    let r = Aligner::new(cfg).align(&a, &b).unwrap();
     assert!(r.scores.ncv_gs3 >= 0.0);
 }
 
@@ -137,7 +153,7 @@ fn different_sized_graphs() {
     let mut rng = StdRng::seed_from_u64(8);
     let a = erdos_renyi_gnm(80, 200, &mut rng);
     let b = erdos_renyi_gnm(120, 300, &mut rng);
-    let r = Aligner::new(test_cfg()).align(&a, &b);
+    let r = Aligner::new(test_cfg()).align(&a, &b).unwrap();
     assert_eq!(r.mapping.len(), 80);
     assert!(r.matching.len() <= 80);
     for m in r.mapping.iter().flatten() {
@@ -154,11 +170,14 @@ fn alternative_sparsifiers_align() {
     let inst = AlignmentInstance::permuted_pair(a, &mut rng);
     for sparsity in [
         SparsityChoice::MutualK(8),
-        SparsityChoice::Threshold { min_weight: 0.6, cap_per_vertex: 12 },
+        SparsityChoice::Threshold {
+            min_weight: 0.6,
+            cap_per_vertex: 12,
+        },
     ] {
         let mut cfg = test_cfg();
         cfg.sparsity = sparsity;
-        let r = Aligner::new(cfg).align(&inst.a, &inst.b);
+        let r = Aligner::new(cfg).align(&inst.a, &inst.b).unwrap();
         assert!(
             r.scores.ncv_gs3 > 0.4,
             "{sparsity:?}: NCV-GS3 only {}",
@@ -180,8 +199,8 @@ fn baseline_quality_ordering() {
     let a = duplication_divergence(150, 0.42, 0.3, &mut rng);
     let inst = AlignmentInstance::permuted_pair(a, &mut rng);
     let cfg = test_cfg();
-    let cu = Aligner::new(cfg.clone()).align(&inst.a, &inst.b);
-    let cone = cone_align(&inst.a, &inst.b, &cfg);
+    let cu = Aligner::new(cfg.clone()).align(&inst.a, &inst.b).unwrap();
+    let cone = cone_align(&inst.a, &inst.b, &cfg).unwrap();
     let iso = cualign::isorank_align(&inst.a, &inst.b, &IsoRankConfig::default());
     assert!(cu.scores.conserved_edges >= cone.scores.conserved_edges);
     assert!(
@@ -214,7 +233,7 @@ fn bp_near_exact_on_tiny_instances() {
         });
         cfg.sparsity = SparsityChoice::K(9); // complete candidate graph
         cfg.bp.max_iters = 20;
-        let cu = Aligner::new(cfg).align(&inst.a, &inst.b);
+        let cu = Aligner::new(cfg).align(&inst.a, &inst.b).unwrap();
         assert!(
             cu.scores.conserved_edges * 2 >= exact.conserved,
             "seed {seed}: BP conserved {} < half of exact {}",
@@ -235,7 +254,7 @@ fn more_iterations_never_hurt_objective() {
     short.bp.max_iters = 4;
     let mut long = test_cfg();
     long.bp.max_iters = 16;
-    let rs = Aligner::new(short).align(&inst.a, &inst.b);
-    let rl = Aligner::new(long).align(&inst.a, &inst.b);
+    let rs = Aligner::new(short).align(&inst.a, &inst.b).unwrap();
+    let rl = Aligner::new(long).align(&inst.a, &inst.b).unwrap();
     assert!(rl.bp.best_score >= rs.bp.best_score);
 }

@@ -1,0 +1,258 @@
+//! Cache semantics of [`AlignmentSession`]: which configuration changes
+//! invalidate which pipeline stages, equivalence with the one-shot
+//! [`Aligner`], and clean errors on degenerate inputs.
+
+use cualign::{
+    cone_align_session, AlignError, Aligner, AlignerConfig, AlignmentSession, GraphSide,
+    SparsityChoice,
+};
+use cualign_embed::{EmbeddingMethod, SpectralConfig};
+use cualign_graph::generators::{duplication_divergence, erdos_renyi_gnm};
+use cualign_graph::permutation::AlignmentInstance;
+use cualign_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_cfg() -> AlignerConfig {
+    let mut cfg = AlignerConfig {
+        embedding: EmbeddingMethod::Spectral(SpectralConfig {
+            dim: 20,
+            oversample: 10,
+            ..Default::default()
+        }),
+        sparsity: SparsityChoice::K(6),
+        ..AlignerConfig::default()
+    };
+    cfg.bp.max_iters = 8;
+    cfg.subspace.anchors = 0;
+    cfg
+}
+
+fn instance(seed: u64, n: usize, m: usize) -> AlignmentInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = erdos_renyi_gnm(n, m, &mut rng);
+    AlignmentInstance::permuted_pair(a, &mut rng)
+}
+
+/// The tentpole contract: changing `sparsity` must NOT recompute the
+/// embeddings or the subspace alignment.
+#[test]
+fn changing_sparsity_reuses_embeddings_and_subspace() {
+    let inst = instance(1, 120, 360);
+    let mut s = AlignmentSession::new(&inst.a, &inst.b, test_cfg()).unwrap();
+    s.align().unwrap();
+
+    for (i, k) in [8, 10, 12].into_iter().enumerate() {
+        s.update_config(|c| c.sparsity = SparsityChoice::K(k))
+            .unwrap();
+        let r = s.align().unwrap();
+        // Embedding + subspace are served from cache every time.
+        assert_eq!(r.timings.cache_hits, 2, "sweep step {i}");
+        assert_eq!(r.timings.embedding_s, 0.0);
+        assert_eq!(r.timings.subspace_s, 0.0);
+    }
+    let c = s.counters();
+    assert_eq!(c.embedding_builds, 1);
+    assert_eq!(c.subspace_builds, 1);
+    assert_eq!(c.sparsify_builds, 4);
+    assert_eq!(c.overlap_builds, 4);
+    assert_eq!(c.optimize_builds, 4);
+}
+
+/// Changing only the BP budget reuses everything through `S`.
+#[test]
+fn changing_bp_iters_reuses_through_overlap() {
+    let inst = instance(2, 100, 300);
+    let mut s = AlignmentSession::new(&inst.a, &inst.b, test_cfg()).unwrap();
+    s.align().unwrap();
+
+    s.update_config(|c| c.bp.max_iters = 16).unwrap();
+    let r = s.align().unwrap();
+    assert_eq!(r.timings.cache_hits, 4);
+    assert_eq!(r.timings.init_s(), 0.0);
+    let c = s.counters();
+    assert_eq!(c.embedding_builds, 1);
+    assert_eq!(c.sparsify_builds, 1);
+    assert_eq!(c.overlap_builds, 1);
+    assert_eq!(c.optimize_builds, 2);
+    // A longer budget extends the history past the shared prefix.
+    assert_eq!(r.bp.history.len(), 17);
+}
+
+/// Changing the embedding seed invalidates the whole chain.
+#[test]
+fn changing_embedding_seed_invalidates_everything() {
+    let inst = instance(3, 100, 300);
+    let mut s = AlignmentSession::new(&inst.a, &inst.b, test_cfg()).unwrap();
+    s.align().unwrap();
+
+    s.update_config(|c| {
+        if let EmbeddingMethod::Spectral(sc) = &mut c.embedding {
+            sc.seed = sc.seed.wrapping_add(1);
+        }
+    })
+    .unwrap();
+    let r = s.align().unwrap();
+    assert_eq!(r.timings.cache_hits, 0);
+    let c = s.counters();
+    assert_eq!(c.embedding_builds, 2);
+    assert_eq!(c.subspace_builds, 2);
+    assert_eq!(c.sparsify_builds, 2);
+    assert_eq!(c.overlap_builds, 2);
+    assert_eq!(c.optimize_builds, 2);
+}
+
+/// Round-tripping a config change back to the original value still
+/// rebuilds (the cache holds one artifact per stage, not a history), and
+/// the rebuilt result is bit-identical to the first.
+#[test]
+fn config_round_trip_rebuilds_deterministically() {
+    let inst = instance(4, 90, 240);
+    let mut s = AlignmentSession::new(&inst.a, &inst.b, test_cfg()).unwrap();
+    let r1 = s.align().unwrap();
+    s.update_config(|c| c.sparsity = SparsityChoice::K(9))
+        .unwrap();
+    s.align().unwrap();
+    s.update_config(|c| c.sparsity = SparsityChoice::K(6))
+        .unwrap();
+    let r3 = s.align().unwrap();
+    assert_eq!(r1.mapping, r3.mapping);
+    assert_eq!(r1.scores, r3.scores);
+    assert_eq!(s.counters().sparsify_builds, 3);
+    assert_eq!(s.counters().embedding_builds, 1);
+}
+
+/// Session results equal the one-shot `Aligner::align` results exactly,
+/// for every density in a sweep.
+#[test]
+fn session_sweep_matches_oneshot_sweep() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = duplication_divergence(130, 0.45, 0.3, &mut rng);
+    let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+    let mut session = AlignmentSession::new(&inst.a, &inst.b, test_cfg()).unwrap();
+    for density in [0.02, 0.05, 0.10] {
+        session
+            .update_config(|c| c.sparsity = SparsityChoice::Density(density))
+            .unwrap();
+        let from_session = session.align().unwrap();
+
+        let mut cfg = test_cfg();
+        cfg.sparsity = SparsityChoice::Density(density);
+        let oneshot = Aligner::new(cfg).align(&inst.a, &inst.b).unwrap();
+
+        assert_eq!(from_session.mapping, oneshot.mapping, "density {density}");
+        assert_eq!(from_session.scores, oneshot.scores);
+        assert_eq!(from_session.l_edges, oneshot.l_edges);
+        assert_eq!(from_session.s_nnz, oneshot.s_nnz);
+        assert_eq!(from_session.bp.best_score, oneshot.bp.best_score);
+    }
+}
+
+/// Partial pipelines: the stage accessors expose usable artifacts and
+/// `cone_align_session` rounds the cached `L` without rebuilding.
+#[test]
+fn partial_pipeline_artifacts_are_consistent() {
+    let inst = instance(6, 80, 220);
+    let mut s = AlignmentSession::new(&inst.a, &inst.b, test_cfg()).unwrap();
+    let dim = {
+        let emb = s.embeddings().unwrap();
+        assert_eq!(emb.y1.rows(), inst.a.num_vertices());
+        assert_eq!(emb.y2.rows(), inst.b.num_vertices());
+        emb.y1.cols()
+    };
+    assert_eq!(dim, 20);
+    let (l_edges, s_rows) = {
+        let (l, sm) = s.artifacts().unwrap();
+        (l.num_edges(), sm.num_rows())
+    };
+    assert_eq!(l_edges, s_rows);
+    let cone = cone_align_session(&mut s).unwrap();
+    assert!(!cone.matching.is_empty());
+    assert_eq!(s.counters().optimize_builds, 0, "cone must not trigger BP");
+    assert_eq!(s.counters().sparsify_builds, 1);
+}
+
+/// Degenerate inputs and configs surface as typed errors, not panics.
+#[test]
+fn degenerate_inputs_and_configs_error() {
+    let empty = CsrGraph::from_edges(0, &[]);
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = erdos_renyi_gnm(40, 100, &mut rng);
+
+    match AlignmentSession::new(&empty, &g, test_cfg()) {
+        Err(AlignError::EmptyGraph { side }) => assert_eq!(side, GraphSide::A),
+        other => panic!("expected EmptyGraph, got {:?}", other.err()),
+    }
+    match AlignmentSession::new(&g, &empty, test_cfg()) {
+        Err(AlignError::EmptyGraph { side }) => assert_eq!(side, GraphSide::B),
+        other => panic!("expected EmptyGraph, got {:?}", other.err()),
+    }
+
+    let tiny = erdos_renyi_gnm(8, 16, &mut rng);
+    assert!(matches!(
+        AlignmentSession::new(&tiny, &g, test_cfg()),
+        Err(AlignError::DimExceedsVertices {
+            dim: 20,
+            vertices: 8
+        })
+    ));
+
+    let mut bad = test_cfg();
+    bad.sparsity = SparsityChoice::Density(0.0);
+    assert!(matches!(
+        AlignmentSession::new(&g, &g, bad),
+        Err(AlignError::InvalidConfig {
+            field: "sparsity.density",
+            ..
+        })
+    ));
+
+    // A threshold no pair clears yields EmptySparsification at stage 3
+    // (two independent graphs, so no exact-1.0 similarity is expected).
+    let h = erdos_renyi_gnm(40, 100, &mut rng);
+    let mut strict = test_cfg();
+    strict.sparsity = SparsityChoice::Threshold {
+        min_weight: 1.0,
+        cap_per_vertex: 4,
+    };
+    let mut s2 = AlignmentSession::new(&g, &h, strict).unwrap();
+    match s2.align() {
+        Err(AlignError::EmptySparsification) => {}
+        Ok(r) => {
+            // Numerically possible for a few exact hits to survive; the
+            // contract is only "no panic, and if empty then typed error".
+            assert!(r.l_edges > 0);
+        }
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
+
+    // Rejected reconfiguration leaves the session usable.
+    let inst = instance(8, 60, 150);
+    let mut s3 = AlignmentSession::new(&inst.a, &inst.b, test_cfg()).unwrap();
+    assert!(s3
+        .update_config(|c| c.sparsity = SparsityChoice::Density(2.0))
+        .is_err());
+    assert!(s3.align().is_ok(), "session must survive a rejected config");
+}
+
+/// `set_config` swaps whole configurations and still only rebuilds what
+/// changed relative to the *cached artifacts*, not the previous config.
+#[test]
+fn set_config_invalidates_by_artifact_fingerprint() {
+    let inst = instance(9, 100, 280);
+    let cfg_a = test_cfg();
+    let mut cfg_b = test_cfg();
+    cfg_b.sparsity = SparsityChoice::K(10);
+
+    let mut s = AlignmentSession::new(&inst.a, &inst.b, cfg_a.clone()).unwrap();
+    s.align().unwrap();
+    s.set_config(cfg_b).unwrap();
+    s.align().unwrap();
+    // Swapping back to A: the cache holds B's artifacts, so the back half
+    // rebuilds, but the front half (identical in A and B) is reused.
+    s.set_config(cfg_a).unwrap();
+    let r = s.align().unwrap();
+    assert_eq!(r.timings.cache_hits, 2);
+    assert_eq!(s.counters().embedding_builds, 1);
+    assert_eq!(s.counters().sparsify_builds, 3);
+}
