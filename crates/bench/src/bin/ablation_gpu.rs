@@ -14,6 +14,7 @@ use cualign_gpusim::bp_gpu::model_bp_iteration;
 use cualign_gpusim::{DeviceSpec, ExecConfig};
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     let density = 0.025;
     let gpu = DeviceSpec::a100();
@@ -77,4 +78,5 @@ fn main() {
     }
     println!("\n(first column: absolute µs with everything on; the rest: slowdown factors");
     println!("relative to it when one optimization is removed)");
+    cualign_bench::emit_telemetry(&telemetry);
 }

@@ -25,6 +25,7 @@ use cualign_graph::VertexId;
 use std::time::Instant;
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     let density = 0.025;
     println!(
@@ -105,4 +106,5 @@ fn main() {
     for r in records {
         println!("{r}");
     }
+    cualign_bench::emit_telemetry(&telemetry);
 }

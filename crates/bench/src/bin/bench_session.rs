@@ -1,0 +1,77 @@
+//! Deterministic end-to-end telemetry snapshot: one small ER instance,
+//! fixed seed, a three-density session sweep plus one repeated density so
+//! every cache path (miss *and* hit) fires. The default sink is
+//! `json:BENCH_session.json` — running this binary with no flags refreshes
+//! the checked-in snapshot:
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin bench_session
+//! ```
+//!
+//! The snapshot line carries the span-tree timings for all five session
+//! stages, the BP residual histogram, and the per-stage
+//! `session.*.hits` / `.misses` counters — it is the artifact the
+//! telemetry subsystem is judged against, so keep the workload here tiny
+//! and fully seeded.
+
+use cualign::{AlignerConfig, AlignmentSession, SparsityChoice};
+use cualign_graph::generators::erdos_renyi_gnm;
+use cualign_graph::permutation::AlignmentInstance;
+use cualign_telemetry::TelemetryMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 42;
+const VERTICES: usize = 256;
+const EDGES: usize = 768;
+/// Two misses for the density-dependent stages, then a repeat of the
+/// last density so the whole back half is served from cache.
+const DENSITIES: [f64; 3] = [0.02, 0.05, 0.05];
+
+fn main() {
+    // Unlike the figure binaries this one *defaults* to writing the
+    // checked-in snapshot; an explicit flag or env var still wins.
+    let explicit = std::env::args().any(|a| a.starts_with("--telemetry"))
+        || std::env::var("CUALIGN_TELEMETRY").is_ok_and(|v| !v.is_empty());
+    let telemetry = if explicit {
+        cualign_bench::telemetry_sink()
+    } else {
+        TelemetryMode::Json("BENCH_session.json".into()).activate()
+    };
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = erdos_renyi_gnm(VERTICES, EDGES, &mut rng);
+    let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+    let cfg = AlignerConfig::builder()
+        .density(DENSITIES[0])
+        .bp_iters(8)
+        .build()
+        .expect("fixed config is valid");
+    let mut session = AlignmentSession::new(&inst.a, &inst.b, cfg)
+        .expect("the seeded ER instance is non-degenerate");
+
+    println!(
+        "bench_session: ER n = {VERTICES}, m = {EDGES}, seed = {SEED} (telemetry -> {})",
+        telemetry.mode()
+    );
+    for density in DENSITIES {
+        session
+            .update_config(|c| c.sparsity = SparsityChoice::Density(density))
+            .expect("grid densities are in (0, 1]");
+        let r = session.align().expect("the seeded instance aligns");
+        println!(
+            "  density {:>5.3}: NCV-GS3 = {:.4}, cache_hits = {}",
+            density, r.scores.ncv_gs3, r.timings.cache_hits
+        );
+    }
+    let c = session.counters();
+    println!(
+        "session builds: embed {} / subspace {} / sparsify {} / overlap {} / optimize {}",
+        c.embedding_builds,
+        c.subspace_builds,
+        c.sparsify_builds,
+        c.overlap_builds,
+        c.optimize_builds
+    );
+    cualign_bench::emit_telemetry(&telemetry);
+}

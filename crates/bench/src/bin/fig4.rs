@@ -19,6 +19,7 @@ use cualign_bench::json::JsonRecord;
 use cualign_bench::{run_cell, sweep_densities, HarnessConfig, DENSITY_GRID};
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     let oneshot = std::env::var("CUALIGN_ONESHOT")
         .map(|v| v == "1")
@@ -87,4 +88,5 @@ fn main() {
     for r in records {
         println!("{r}");
     }
+    cualign_bench::emit_telemetry(&telemetry);
 }

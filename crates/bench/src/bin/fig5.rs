@@ -16,6 +16,7 @@ use cualign_bench::json::JsonRecord;
 use cualign_bench::{sweep_densities, HarnessConfig, DENSITY_GRID};
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     println!(
         "Figure 5: optimization time (s) vs density (scale = {}, bp_iters = {}, seed = {})\n",
@@ -59,4 +60,5 @@ fn main() {
     for r in records {
         println!("{r}");
     }
+    cualign_bench::emit_telemetry(&telemetry);
 }

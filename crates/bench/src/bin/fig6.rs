@@ -18,6 +18,7 @@ use cualign_bench::json::JsonRecord;
 use cualign_bench::HarnessConfig;
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     println!(
         "Figure 6: NCV-GS3, cuAlign vs cone-align (scale = {}, bp_iters = {}, seed = {})\n",
@@ -70,4 +71,5 @@ fn main() {
     for r in records {
         println!("{r}");
     }
+    cualign_bench::emit_telemetry(&telemetry);
 }

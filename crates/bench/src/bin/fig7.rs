@@ -21,6 +21,7 @@ use cualign_gpusim::report::table2_row;
 use cualign_gpusim::ExecConfig;
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     let density = 0.025;
     println!(
@@ -87,4 +88,5 @@ fn main() {
     for r in records {
         println!("{r}");
     }
+    cualign_bench::emit_telemetry(&telemetry);
 }

@@ -12,6 +12,7 @@ use cualign_gpusim::multi_gpu::{strong_scaling_sweep, Interconnect};
 use cualign_gpusim::{DeviceSpec, ExecConfig};
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     let density = 0.025;
     let counts = [1usize, 2, 4, 8];
@@ -49,4 +50,5 @@ fn main() {
     }
     println!("\n(cells: speedup over 1 GPU and parallel efficiency; efficiency decays as");
     println!("the all-gather of messages and Sᵖ halos stops shrinking with the shards)");
+    cualign_bench::emit_telemetry(&telemetry);
 }

@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     let density = 0.025;
     println!(
@@ -94,4 +95,5 @@ fn main() {
     for r in records {
         println!("{r}");
     }
+    cualign_bench::emit_telemetry(&telemetry);
 }

@@ -10,6 +10,7 @@ use cualign_bench::HarnessConfig;
 use cualign_graph::stats::{degree_stats, global_clustering};
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     println!(
         "Table 1: input graphs (scale = {}, seed = {})\n",
@@ -38,4 +39,5 @@ fn main() {
     println!(
         "\n(paper columns are Table 1's listed sizes; the right half is the generated stand-in)"
     );
+    cualign_bench::emit_telemetry(&telemetry);
 }

@@ -19,6 +19,7 @@ use cualign_gpusim::ExecConfig;
 use std::time::Instant;
 
 fn main() {
+    let telemetry = cualign_bench::telemetry_sink();
     let h = HarnessConfig::from_env();
     let density = 0.025;
     println!(
@@ -73,4 +74,5 @@ fn main() {
     }
     println!("\nExpected shape (paper): BP speedup ≫ matching speedup; totals in between;");
     println!("the small Synthetic_4000 gains least (launch overheads amortize poorly).");
+    cualign_bench::emit_telemetry(&telemetry);
 }

@@ -267,6 +267,30 @@ pub fn sweep_densities(h: &HarnessConfig, input: PaperInput, densities: &[f64]) 
         .collect()
 }
 
+/// Activates the telemetry mode requested on the command line
+/// (`--telemetry off|summary|json:PATH`, or the `CUALIGN_TELEMETRY`
+/// environment variable) and returns the sink. Every bench binary calls
+/// this at the top of `main` and [`emit_telemetry`] at the end, so any
+/// figure run can be introspected without recompiling. A malformed mode
+/// warns and falls back to `off` rather than killing the bench.
+pub fn telemetry_sink() -> cualign_telemetry::TelemetrySink {
+    match cualign_telemetry::TelemetryMode::from_env_args(std::env::args()) {
+        Ok(mode) => mode.activate(),
+        Err(e) => {
+            eprintln!("warning: {e}; telemetry stays off");
+            cualign_telemetry::TelemetryMode::Off.activate()
+        }
+    }
+}
+
+/// Emits the global registry through `sink`, downgrading I/O failures to
+/// a warning (a bench run's tables should survive a bad telemetry path).
+pub fn emit_telemetry(sink: &cualign_telemetry::TelemetrySink) {
+    if let Err(e) = sink.emit(cualign_telemetry::global()) {
+        eprintln!("warning: failed to emit telemetry: {e}");
+    }
+}
+
 /// Minimal flat-record JSON emission for the figure binaries, so sweep
 /// results are machine-readable alongside the human tables. Kept
 /// dependency-free on purpose (records are flat key → scalar maps).

@@ -8,7 +8,33 @@ use cualign_matching::{
     greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching, Matching,
 };
 use cualign_overlap::OverlapMatrix;
+use cualign_telemetry::{Counter, Histogram};
 use rayon::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Interned telemetry handles, resolved once per process so the per-sweep
+/// updates in [`BpEngine::iterate`] touch only atomics.
+struct BpTele {
+    runs: Arc<Counter>,
+    iterations: Arc<Counter>,
+    messages_updated: Arc<Counter>,
+    clamp_saturations: Arc<Counter>,
+    residual: Arc<Histogram>,
+}
+
+fn bp_tele() -> &'static BpTele {
+    static TELE: OnceLock<BpTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let r = cualign_telemetry::global();
+        BpTele {
+            runs: r.counter("bp.runs"),
+            iterations: r.counter("bp.iterations"),
+            messages_updated: r.counter("bp.messages_updated"),
+            clamp_saturations: r.counter("bp.clamp_saturations"),
+            residual: r.histogram("bp.residual"),
+        }
+    })
+}
 
 /// Which matcher rounds the messages each iteration (Algorithm 2,
 /// lines 17–20). All four compute the same unique matching under the
@@ -287,6 +313,31 @@ impl<'a> BpEngine<'a> {
             DampingSchedule::PowerDecay => self.cfg.gamma.powi(self.iter as i32),
             DampingSchedule::Constant => self.cfg.gamma,
         };
+
+        // Telemetry: the per-sweep counter ticks are plain atomics and
+        // stay on; the derived passes (saturation count, residual) cost
+        // O(nnz) and run only when telemetry is enabled.
+        let tele = bp_tele();
+        tele.iterations.inc();
+        tele.messages_updated
+            .add((5 * self.yc.len() + 3 * self.f.len()) as u64);
+        if cualign_telemetry::enabled() {
+            let saturated = self.f.iter().filter(|&&v| v <= 0.0 || v >= beta).count();
+            tele.clamp_saturations.add(saturated as u64);
+            // Residual: L∞ norm of the damped update about to be applied
+            // — the quantity whose decay under γᵏ forces convergence.
+            let linf = |cur: &[f64], prev: &[f64]| {
+                cur.iter()
+                    .zip(prev)
+                    .map(|(c, p)| (g * (c - p)).abs())
+                    .fold(0.0f64, f64::max)
+            };
+            let residual = linf(&self.yc, &self.yp)
+                .max(linf(&self.zc, &self.zp))
+                .max(linf(&self.sc, &self.sp));
+            tele.residual.record(residual);
+        }
+
         let damp = |cur: &[f64], prev: &mut Vec<f64>| {
             prev.par_iter_mut().zip(cur).for_each(|(p, c)| {
                 *p = g * c + (1.0 - g) * *p;
@@ -335,6 +386,8 @@ impl<'a> BpEngine<'a> {
     /// ("take the best solution we find in any step of the computation").
     pub fn run(mut self) -> BpOutcome {
         assert!(self.cfg.max_iters > 0, "need at least one iteration");
+        bp_tele().runs.inc();
+        let _span = cualign_telemetry::global().span("bp.run");
         let mut history = Vec::with_capacity(self.cfg.max_iters + 1);
         let mut best: Option<(Matching, f64, f64, usize, usize)> = {
             self.l.set_weights(&self.w0.clone());

@@ -3,7 +3,7 @@
 //! ```text
 //! cualign align --graph-a A.txt --graph-b B.txt [--density 0.025 | --k 10]
 //!               [--bp-iters 25] [--dim 128] [--method cualign|cone|isorank]
-//!               [--output mapping.tsv]
+//!               [--output mapping.tsv] [--telemetry off|summary|json:PATH]
 //! cualign stats --graph G.txt
 //! cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M
 //!                  [--seed S] --output G.txt
@@ -11,10 +11,16 @@
 //!
 //! Graphs are whitespace-separated edge lists (`# comments` allowed); the
 //! mapping output is one `u <TAB> v` pair per line.
+//!
+//! `--telemetry summary` prints the span-tree/counter digest to stderr
+//! after the run; `--telemetry json:PATH` appends one JSON snapshot line
+//! to `PATH`. The `CUALIGN_TELEMETRY` environment variable supplies the
+//! same modes when the flag is absent.
 
 use cualign::baselines::isorank::IsoRankConfig;
 use cualign::{cone_align, isorank_align, AlignError, Aligner, AlignerConfig};
 use cualign_graph::{io, stats, CsrGraph};
+use cualign_telemetry::TelemetryMode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -39,7 +45,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--method cualign|cone|isorank] [--output OUT.tsv]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
+        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--method cualign|cone|isorank] [--output OUT.tsv] \\\n                [--telemetry off|summary|json:PATH]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
     );
     ExitCode::from(2)
 }
@@ -56,12 +62,29 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    let mode = match flags.get("telemetry") {
+        Some(v) => TelemetryMode::parse(v),
+        None => match std::env::var("CUALIGN_TELEMETRY") {
+            Ok(v) if !v.is_empty() => TelemetryMode::parse(&v),
+            _ => Ok(TelemetryMode::Off),
+        },
+    };
+    let sink = match mode {
+        Ok(m) => m.activate(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let result = match cmd.as_str() {
         "align" => cmd_align(&flags),
         "stats" => cmd_stats(&flags),
         "generate" => cmd_generate(&flags),
         other => Err(format!("unknown command '{other}'")),
     };
+    if let Err(e) = sink.emit(cualign_telemetry::global()) {
+        eprintln!("warning: failed to emit telemetry: {e}");
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -47,6 +47,39 @@ impl StageTimings {
     pub fn total_s(&self) -> f64 {
         self.init_s() + self.optimize_s
     }
+
+    /// Derives cumulative timings from a telemetry snapshot: stage
+    /// seconds from the root-level `session.<stage>` spans, `cache_hits`
+    /// from the `session.<stage>.hits` counters. This is the thin-view
+    /// reading of the span tree — the struct holds no timing state of its
+    /// own; sessions record exclusively through telemetry spans.
+    ///
+    /// Spans only populate while telemetry is enabled
+    /// ([`cualign_telemetry::set_enabled`]), so a snapshot taken with
+    /// telemetry off derives all-zero timings.
+    pub fn from_snapshot(snapshot: &cualign_telemetry::Snapshot) -> StageTimings {
+        let span_s = |stage: &str| {
+            snapshot
+                .spans
+                .children
+                .get(&format!("session.{stage}"))
+                .map_or(0.0, |s| s.total_s)
+        };
+        let hits: usize = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("session.") && name.ends_with(".hits"))
+            .map(|(_, &v)| v as usize)
+            .sum();
+        StageTimings {
+            embedding_s: span_s("embed"),
+            subspace_s: span_s("subspace"),
+            sparsify_s: span_s("sparsify"),
+            overlap_s: span_s("overlap"),
+            optimize_s: span_s("optimize"),
+            cache_hits: hits,
+        }
+    }
 }
 
 /// Output of a full cuAlign run.

@@ -22,6 +22,13 @@
 //! seed invalidates the whole chain. [`StageCounters`] exposes exactly
 //! what was rebuilt, and the per-run [`StageTimings`] report `0 s` plus
 //! a `cache_hits` tick for reused artifacts.
+//!
+//! All stage timing flows through the telemetry subsystem: each build
+//! runs inside a `session.<stage>` span ([`Registry::timed`]), so with
+//! telemetry enabled the span tree carries the same numbers `StageTimings`
+//! reports, and the registry's `session.<stage>.hits`/`.misses` counters
+//! are the canonical per-stage cache statistics (the per-run `cache_hits`
+//! rollup cannot say *which* stage was reused; the counters can).
 
 use crate::config::AlignerConfig;
 use crate::error::{AlignError, GraphSide};
@@ -32,7 +39,8 @@ use cualign_embed::{align_subspaces, EmbeddingMethod, SubspaceAlignConfig, Subsp
 use cualign_graph::{BipartiteGraph, CsrGraph, VertexId};
 use cualign_linalg::DenseMatrix;
 use cualign_overlap::OverlapMatrix;
-use std::time::Instant;
+use cualign_telemetry::{Counter, Registry};
+use std::sync::Arc;
 
 use crate::config::SparsityChoice;
 
@@ -228,6 +236,50 @@ impl StageCounters {
 }
 
 // ---------------------------------------------------------------------
+// Telemetry handles
+// ---------------------------------------------------------------------
+
+/// Interned hit/miss counters for one pipeline stage. These registry
+/// counters are the *canonical* cache statistics: unlike the per-run
+/// `cache_hits` rollup in [`StageTimings`], they distinguish which stage
+/// was served from cache, across the whole session lifetime.
+struct StageTele {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl StageTele {
+    fn new(registry: &Registry, stage: &str) -> Self {
+        StageTele {
+            hits: registry.counter(&format!("session.{stage}.hits")),
+            misses: registry.counter(&format!("session.{stage}.misses")),
+        }
+    }
+}
+
+/// Cached handles to every session instrument, built once per session so
+/// stage accesses touch only atomics (never the registry's intern lock).
+struct SessionTelemetry {
+    embed: StageTele,
+    subspace: StageTele,
+    sparsify: StageTele,
+    overlap: StageTele,
+    optimize: StageTele,
+}
+
+impl SessionTelemetry {
+    fn new(registry: &Registry) -> Self {
+        SessionTelemetry {
+            embed: StageTele::new(registry, "embed"),
+            subspace: StageTele::new(registry, "subspace"),
+            sparsify: StageTele::new(registry, "sparsify"),
+            overlap: StageTele::new(registry, "overlap"),
+            optimize: StageTele::new(registry, "optimize"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The session
 // ---------------------------------------------------------------------
 
@@ -275,36 +327,45 @@ pub struct AlignmentSession<'g> {
     optimized: Option<Cached<Optimized>>,
     counters: StageCounters,
     cumulative: StageTimings,
+    registry: &'static Registry,
+    tele: SessionTelemetry,
 }
 
-/// Outcome of an `ensure_*` step: was the artifact reused, and how long
-/// did the build take if not.
+/// Outcome of an `ensure_*` step: was the artifact reused? (Build
+/// durations live in the cumulative timings and the span tree.)
 struct StageOutcome {
     hit: bool,
-    seconds: f64,
 }
 
 impl StageOutcome {
     fn hit() -> Self {
-        StageOutcome {
-            hit: true,
-            seconds: 0.0,
-        }
+        StageOutcome { hit: true }
     }
 
-    fn built(seconds: f64) -> Self {
-        StageOutcome {
-            hit: false,
-            seconds,
-        }
+    fn built() -> Self {
+        StageOutcome { hit: false }
     }
 }
 
 impl<'g> AlignmentSession<'g> {
-    /// Opens a session over `a` and `b`. Validates the configuration and
-    /// rejects degenerate inputs (empty graphs, embedding dimension
-    /// larger than the smaller graph).
+    /// Opens a session over `a` and `b`, recording telemetry into the
+    /// process-global registry. Validates the configuration and rejects
+    /// degenerate inputs (empty graphs, embedding dimension larger than
+    /// the smaller graph).
     pub fn new(a: &'g CsrGraph, b: &'g CsrGraph, cfg: AlignerConfig) -> Result<Self, AlignError> {
+        Self::with_registry(a, b, cfg, cualign_telemetry::global())
+    }
+
+    /// As [`AlignmentSession::new`], but recording stage spans and the
+    /// per-stage cache hit/miss counters into `registry` instead of the
+    /// global one. Tests use this with a leaked fresh registry so
+    /// concurrently running sessions cannot perturb each other's counts.
+    pub fn with_registry(
+        a: &'g CsrGraph,
+        b: &'g CsrGraph,
+        cfg: AlignerConfig,
+        registry: &'static Registry,
+    ) -> Result<Self, AlignError> {
         cfg.validate()?;
         Self::check_inputs(a, b, &cfg)?;
         Ok(AlignmentSession {
@@ -318,7 +379,14 @@ impl<'g> AlignmentSession<'g> {
             optimized: None,
             counters: StageCounters::default(),
             cumulative: StageTimings::default(),
+            registry,
+            tele: SessionTelemetry::new(registry),
         })
+    }
+
+    /// The registry this session records into.
+    pub fn registry(&self) -> &'static Registry {
+        self.registry
     }
 
     fn check_inputs(a: &CsrGraph, b: &CsrGraph, cfg: &AlignerConfig) -> Result<(), AlignError> {
@@ -389,23 +457,26 @@ impl<'g> AlignmentSession<'g> {
     fn ensure_embeddings(&mut self) -> StageOutcome {
         let fp = embedding_fingerprint(&self.cfg.embedding);
         if matches!(&self.embeddings, Some(c) if c.fingerprint == fp) {
+            self.tele.embed.hits.inc();
             return StageOutcome::hit();
         }
-        let t = Instant::now();
-        let y1 = self.cfg.embedding.embed(self.a);
-        let y2 = self
-            .cfg
-            .embedding
-            .with_seed_offset(B_SIDE_SEED_OFFSET)
-            .embed(self.b);
-        let seconds = t.elapsed().as_secs_f64();
+        self.tele.embed.misses.inc();
+        let (value, seconds) = self.registry.timed("session.embed", || {
+            let y1 = self.cfg.embedding.embed(self.a);
+            let y2 = self
+                .cfg
+                .embedding
+                .with_seed_offset(B_SIDE_SEED_OFFSET)
+                .embed(self.b);
+            Embeddings { y1, y2 }
+        });
         self.embeddings = Some(Cached {
             fingerprint: fp,
-            value: Embeddings { y1, y2 },
+            value,
         });
         self.counters.embedding_builds += 1;
         self.cumulative.embedding_s += seconds;
-        StageOutcome::built(seconds)
+        StageOutcome::built()
     }
 
     /// The stage-1 artifact: proximity embeddings of both graphs.
@@ -430,19 +501,21 @@ impl<'g> AlignmentSession<'g> {
             &self.cfg.subspace,
         );
         if upstream.hit && matches!(&self.subspace, Some(c) if c.fingerprint == fp) {
+            self.tele.subspace.hits.inc();
             return StageOutcome::hit();
         }
-        let t = Instant::now();
-        let emb = &self.embeddings.as_ref().expect("embeddings ensured").value;
-        let sub = align_subspaces(&emb.y1, &emb.y2, self.a, self.b, &self.cfg.subspace);
-        let seconds = t.elapsed().as_secs_f64();
+        self.tele.subspace.misses.inc();
+        let (sub, seconds) = self.registry.timed("session.subspace", || {
+            let emb = &self.embeddings.as_ref().expect("embeddings ensured").value;
+            align_subspaces(&emb.y1, &emb.y2, self.a, self.b, &self.cfg.subspace)
+        });
         self.subspace = Some(Cached {
             fingerprint: fp,
             value: sub,
         });
         self.counters.subspace_builds += 1;
         self.cumulative.subspace_s += seconds;
-        StageOutcome::built(seconds)
+        StageOutcome::built()
     }
 
     /// The stage-2 artifact: embeddings rotated into a common subspace
@@ -464,12 +537,14 @@ impl<'g> AlignmentSession<'g> {
             &self.cfg.sparsity,
         );
         if upstream.hit && matches!(&self.sparse_l, Some(c) if c.fingerprint == fp) {
+            self.tele.sparsify.hits.inc();
             return Ok(StageOutcome::hit());
         }
-        let t = Instant::now();
-        let sub = &self.subspace.as_ref().expect("subspace ensured").value;
-        let l = self.cfg.build_l(&sub.ya, &sub.yb);
-        let seconds = t.elapsed().as_secs_f64();
+        self.tele.sparsify.misses.inc();
+        let (l, seconds) = self.registry.timed("session.sparsify", || {
+            let sub = &self.subspace.as_ref().expect("subspace ensured").value;
+            self.cfg.build_l(&sub.ya, &sub.yb)
+        });
         if l.num_edges() == 0 {
             return Err(AlignError::EmptySparsification);
         }
@@ -479,7 +554,7 @@ impl<'g> AlignmentSession<'g> {
         });
         self.counters.sparsify_builds += 1;
         self.cumulative.sparsify_s += seconds;
-        Ok(StageOutcome::built(seconds))
+        Ok(StageOutcome::built())
     }
 
     /// The stage-3 artifact: the sparsified candidate graph `L`.
@@ -499,19 +574,21 @@ impl<'g> AlignmentSession<'g> {
             .expect("sparse_l ensured")
             .fingerprint;
         if upstream.hit && matches!(&self.overlap, Some(c) if c.fingerprint == fp) {
+            self.tele.overlap.hits.inc();
             return Ok(StageOutcome::hit());
         }
-        let t = Instant::now();
-        let l = &self.sparse_l.as_ref().expect("sparse_l ensured").value;
-        let s = OverlapMatrix::build(self.a, self.b, l);
-        let seconds = t.elapsed().as_secs_f64();
+        self.tele.overlap.misses.inc();
+        let (s, seconds) = self.registry.timed("session.overlap", || {
+            let l = &self.sparse_l.as_ref().expect("sparse_l ensured").value;
+            OverlapMatrix::build(self.a, self.b, l)
+        });
         self.overlap = Some(Cached {
             fingerprint: fp,
             value: s,
         });
         self.counters.overlap_builds += 1;
         self.cumulative.overlap_s += seconds;
-        Ok(StageOutcome::built(seconds))
+        Ok(StageOutcome::built())
     }
 
     /// The stage-4 artifact: the overlap matrix `S` (Algorithm 3).
@@ -539,51 +616,52 @@ impl<'g> AlignmentSession<'g> {
             &self.cfg.bp,
         );
         if upstream.hit && matches!(&self.optimized, Some(c) if c.fingerprint == fp) {
+            self.tele.optimize.hits.inc();
             return Ok(StageOutcome::hit());
         }
-        let t = Instant::now();
-        let l = &self.sparse_l.as_ref().expect("sparse_l ensured").value;
-        let s = &self.overlap.as_ref().expect("overlap ensured").value;
-        let bp = BpEngine::new(l, s, &self.cfg.bp).run();
-        let mapping: Vec<Option<VertexId>> = (0..self.a.num_vertices())
-            .map(|u| bp.best_matching.mate_of_a(u as VertexId))
-            .collect();
-        let scores = score_alignment(self.a, self.b, &mapping);
-        let seconds = t.elapsed().as_secs_f64();
-        self.optimized = Some(Cached {
-            fingerprint: fp,
-            value: Optimized {
+        self.tele.optimize.misses.inc();
+        let (value, seconds) = self.registry.timed("session.optimize", || {
+            let l = &self.sparse_l.as_ref().expect("sparse_l ensured").value;
+            let s = &self.overlap.as_ref().expect("overlap ensured").value;
+            let bp = BpEngine::new(l, s, &self.cfg.bp).run();
+            let mapping: Vec<Option<VertexId>> = (0..self.a.num_vertices())
+                .map(|u| bp.best_matching.mate_of_a(u as VertexId))
+                .collect();
+            let scores = score_alignment(self.a, self.b, &mapping);
+            Optimized {
                 bp,
                 mapping,
                 scores,
-            },
+            }
+        });
+        self.optimized = Some(Cached {
+            fingerprint: fp,
+            value,
         });
         self.counters.optimize_builds += 1;
         self.cumulative.optimize_s += seconds;
-        Ok(StageOutcome::built(seconds))
+        Ok(StageOutcome::built())
     }
 
     /// Runs the full pipeline, reusing every artifact whose configuration
     /// slice is unchanged. The returned [`StageTimings`] charge `0 s` for
     /// reused stages and report how many were reused in `cache_hits`.
     pub fn align(&mut self) -> Result<AlignmentResult, AlignError> {
-        let mut timings = StageTimings::default();
-
-        let emb = self.ensure_embeddings();
-        timings.embedding_s = emb.seconds;
-        let sub = self.ensure_subspace();
-        timings.subspace_s = sub.seconds;
-        let spa = self.ensure_sparse_l()?;
-        timings.sparsify_s = spa.seconds;
-        let ovl = self.ensure_overlap()?;
-        timings.overlap_s = ovl.seconds;
-        let opt = self.ensure_optimized()?;
-        timings.optimize_s = opt.seconds;
-
-        timings.cache_hits = [emb.hit, sub.hit, spa.hit, ovl.hit, opt.hit]
-            .iter()
-            .filter(|&&h| h)
-            .count();
+        // Drive only the last stage: its dependency walk ensures every
+        // upstream artifact exactly once, so each run logs exactly one
+        // hit-or-miss per stage in the telemetry counters. Per-run
+        // timings are the cumulative deltas (reused stages charge 0 s).
+        let before_t = self.cumulative;
+        let before_c = self.counters;
+        self.ensure_optimized()?;
+        let timings = StageTimings {
+            embedding_s: self.cumulative.embedding_s - before_t.embedding_s,
+            subspace_s: self.cumulative.subspace_s - before_t.subspace_s,
+            sparsify_s: self.cumulative.sparsify_s - before_t.sparsify_s,
+            overlap_s: self.cumulative.overlap_s - before_t.overlap_s,
+            optimize_s: self.cumulative.optimize_s - before_t.optimize_s,
+            cache_hits: 5 - (self.counters.total_builds() - before_c.total_builds()),
+        };
 
         let l_edges = self
             .sparse_l

@@ -59,6 +59,13 @@ impl Default for EmbeddingMethod {
 impl EmbeddingMethod {
     /// Runs the selected embedder.
     pub fn embed(&self, g: &CsrGraph) -> DenseMatrix {
+        let reg = cualign_telemetry::global();
+        reg.counter("embed.builds").inc();
+        let _span = reg.span(match self {
+            EmbeddingMethod::Spectral(_) => "embed.spectral",
+            EmbeddingMethod::FastRp(_) => "embed.fastrp",
+            EmbeddingMethod::NetMf(_) => "embed.netmf",
+        });
         match self {
             EmbeddingMethod::Spectral(cfg) => spectral_embedding(g, cfg),
             EmbeddingMethod::FastRp(cfg) => fastrp_embedding(g, cfg),

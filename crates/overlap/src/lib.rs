@@ -45,6 +45,7 @@ impl OverlapMatrix {
     /// Builds `S` from the two input graphs and the bipartite graph `L`
     /// (Algorithm 3; parallel over rows).
     pub fn build(a: &CsrGraph, b: &CsrGraph, l: &BipartiteGraph) -> Self {
+        let _span = cualign_telemetry::global().span("overlap.build");
         let m = l.num_edges();
         // Row e = (u, v): for every neighbor u' of u and v' of v, the edge
         // (u', v') of L (if present) overlaps e.
@@ -94,6 +95,9 @@ impl OverlapMatrix {
             })
             .collect();
 
+        let reg = cualign_telemetry::global();
+        reg.counter("overlap.builds").inc();
+        reg.gauge("overlap.nnz").set(col_idx.len() as f64);
         OverlapMatrix {
             row_offsets,
             col_idx,

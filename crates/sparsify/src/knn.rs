@@ -8,7 +8,28 @@
 
 use cualign_graph::VertexId;
 use cualign_linalg::{vecops, DenseMatrix};
+use cualign_telemetry::Counter;
 use rayon::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Interned scan-volume counters: how many candidate pairs the kNN sweep
+/// scored vs. how many survived the top-`k` selection — the Fig. 4 story
+/// of what sparsification discards.
+pub(crate) struct KnnTele {
+    pub(crate) scanned: Arc<Counter>,
+    pub(crate) kept: Arc<Counter>,
+}
+
+pub(crate) fn knn_tele() -> &'static KnnTele {
+    static TELE: OnceLock<KnnTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let r = cualign_telemetry::global();
+        KnnTele {
+            scanned: r.counter("sparsify.candidates_scanned"),
+            kept: r.counter("sparsify.candidates_kept"),
+        }
+    })
+}
 
 /// Which side queries which.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,7 +89,11 @@ pub fn knn_candidates(
                 .collect::<Vec<_>>()
         })
         .collect_into_vec(&mut out);
-    out.into_iter().flatten().collect()
+    let triples: Vec<(VertexId, VertexId, f64)> = out.into_iter().flatten().collect();
+    let tele = knn_tele();
+    tele.scanned.add((nq * nt) as u64);
+    tele.kept.add(triples.len() as u64);
+    triples
 }
 
 #[cfg(test)]

@@ -87,6 +87,9 @@ pub fn build_with(ya: &DenseMatrix, yb: &DenseMatrix, rule: &Sparsifier) -> Bipa
                     kept
                 })
                 .collect();
+            let tele = crate::knn::knn_tele();
+            tele.scanned.add((ya.rows() * nb) as u64);
+            tele.kept.add(triples.len() as u64);
             BipartiteGraph::from_weighted_edges(ya.rows(), yb.rows(), &triples)
         }
     }

@@ -1,0 +1,358 @@
+//! The three serializations of a [`Snapshot`]: pretty tree, JSON line,
+//! and Prometheus text exposition format.
+
+use std::fmt::Write as _;
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Snapshot;
+use crate::span::SpanSnapshot;
+
+impl Snapshot {
+    /// Human-readable summary: span tree with total/self times and call
+    /// counts, then counters, gauges, and histogram digests. This is the
+    /// `--telemetry summary` output.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry summary\n");
+        if !self.spans.children.is_empty() {
+            out.push_str("spans (total / self, calls):\n");
+            render_span_children(&self.spans, 1, &mut out);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count / mean / p50 / p99):\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} mean={:.3e} p50={:.3e} p99={:.3e}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                );
+            }
+        }
+        out
+    }
+
+    /// One JSON line (no trailing newline) holding the whole snapshot:
+    /// the `BENCH_*.json` contract. Keys are deterministically ordered;
+    /// histograms serialize only their non-empty buckets as
+    /// `[upper_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter(), |out, v| push_f64(out, *v));
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, self.histograms.iter(), |out, h| {
+            push_histogram_json(out, h);
+        });
+        out.push_str("},\"spans\":");
+        push_span_json(&mut out, &self.spans);
+        out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition format. Counters map to `counter`,
+    /// gauges to `gauge`, histograms to cumulative `_bucket{le=...}` /
+    /// `_sum` / `_count` series, and each span path to a
+    /// `span_seconds_total` / `span_calls_total` pair labelled by path.
+    /// Metric names are sanitized (`.` and `-` become `_`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = h.underflow;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                cum += c;
+                if c > 0 {
+                    let ub = HistogramSnapshot::bucket_upper_bound(i);
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{ub:e}\"}} {cum}");
+                }
+            }
+            cum += h.overflow;
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cum}");
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        if !self.spans.children.is_empty() {
+            out.push_str("# TYPE span_seconds_total counter\n");
+            out.push_str("# TYPE span_calls_total counter\n");
+            let mut path = Vec::new();
+            prometheus_spans(&self.spans, &mut path, &mut out);
+        }
+        out
+    }
+}
+
+fn render_span_children(node: &SpanSnapshot, depth: usize, out: &mut String) {
+    for (name, child) in &node.children {
+        let _ = writeln!(
+            out,
+            "{:indent$}{name}: {:.3}s / {:.3}s ({} calls)",
+            "",
+            child.total_s,
+            child.self_s(),
+            child.calls,
+            indent = depth * 2,
+        );
+        render_span_children(child, depth + 1, out);
+    }
+}
+
+/// Writes `"key":<value>` entries joined by commas, with escaped keys.
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut push_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (key, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_string(out, key);
+        out.push(':');
+        push_value(out, value);
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON has no NaN/Infinity literals; map them to null.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_histogram_json(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(out, "{{\"count\":{},\"sum\":", h.count,);
+    push_f64(out, h.sum);
+    let _ = write!(
+        out,
+        ",\"underflow\":{},\"overflow\":{},\"buckets\":[",
+        h.underflow, h.overflow
+    );
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "[{:e},{c}]", HistogramSnapshot::bucket_upper_bound(i));
+    }
+    out.push_str("]}");
+}
+
+fn push_span_json(out: &mut String, node: &SpanSnapshot) {
+    let _ = write!(out, "{{\"calls\":{},\"total_s\":", node.calls);
+    push_f64(out, node.total_s);
+    out.push_str(",\"children\":{");
+    let mut first = true;
+    for (name, child) in &node.children {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_string(out, name);
+        out.push(':');
+        push_span_json(out, child);
+    }
+    out.push_str("}}");
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prometheus_spans(node: &SpanSnapshot, path: &mut Vec<String>, out: &mut String) {
+    for (name, child) in &node.children {
+        path.push(sanitize(name));
+        let label = path.join("/");
+        let _ = writeln!(
+            out,
+            "span_seconds_total{{path=\"{label}\"}} {}",
+            child.total_s
+        );
+        let _ = writeln!(out, "span_calls_total{{path=\"{label}\"}} {}", child.calls);
+        prometheus_spans(child, path, out);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Hand-built snapshot with one of everything, for golden outputs.
+    fn fixture() -> Snapshot {
+        let mut h = HistogramSnapshot::empty();
+        h.count = 3;
+        h.sum = 3.5;
+        h.underflow = 1;
+        // 1.5 and 2.0 → buckets [1,2) and [2,4): exponents 0 and 1.
+        h.buckets[(0 - crate::metrics::MIN_EXP) as usize] = 1;
+        h.buckets[(1 - crate::metrics::MIN_EXP) as usize] = 1;
+
+        let mut spans = SpanSnapshot::default();
+        let mut align = SpanSnapshot {
+            calls: 1,
+            total_s: 2.0,
+            children: BTreeMap::new(),
+        };
+        align.children.insert(
+            "bp".into(),
+            SpanSnapshot {
+                calls: 5,
+                total_s: 1.5,
+                children: BTreeMap::new(),
+            },
+        );
+        spans.children.insert("align".into(), align);
+
+        Snapshot {
+            counters: [("bp.iterations".to_string(), 42u64)].into(),
+            gauges: [("overlap.nnz".to_string(), 128.0)].into(),
+            histograms: [("bp.residual".to_string(), h)].into(),
+            spans,
+        }
+    }
+
+    #[test]
+    fn golden_json() {
+        let json = fixture().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"bp.iterations\":42},\
+             \"gauges\":{\"overlap.nnz\":128},\
+             \"histograms\":{\"bp.residual\":{\"count\":3,\"sum\":3.5,\
+             \"underflow\":1,\"overflow\":0,\"buckets\":[[2e0,1],[4e0,1]]}},\
+             \"spans\":{\"calls\":0,\"total_s\":0,\"children\":{\
+             \"align\":{\"calls\":1,\"total_s\":2,\"children\":{\
+             \"bp\":{\"calls\":5,\"total_s\":1.5,\"children\":{}}}}}}}"
+        );
+        assert!(!json.contains('\n'), "must be a single line");
+    }
+
+    #[test]
+    fn golden_tree() {
+        let tree = fixture().render_tree();
+        assert_eq!(
+            tree,
+            "telemetry summary\n\
+             spans (total / self, calls):\n\
+             \x20\x20align: 2.000s / 0.500s (1 calls)\n\
+             \x20\x20\x20\x20bp: 1.500s / 1.500s (5 calls)\n\
+             counters:\n\
+             \x20\x20bp.iterations = 42\n\
+             gauges:\n\
+             \x20\x20overlap.nnz = 128\n\
+             histograms (count / mean / p50 / p99):\n\
+             \x20\x20bp.residual: n=3 mean=1.167e0 p50=2.000e0 p99=4.000e0\n"
+        );
+    }
+
+    #[test]
+    fn golden_prometheus() {
+        let prom = fixture().to_prometheus();
+        assert_eq!(
+            prom,
+            "# TYPE bp_iterations counter\n\
+             bp_iterations 42\n\
+             # TYPE overlap_nnz gauge\n\
+             overlap_nnz 128\n\
+             # TYPE bp_residual histogram\n\
+             bp_residual_bucket{le=\"2e0\"} 2\n\
+             bp_residual_bucket{le=\"4e0\"} 3\n\
+             bp_residual_bucket{le=\"+Inf\"} 3\n\
+             bp_residual_sum 3.5\n\
+             bp_residual_count 3\n\
+             # TYPE span_seconds_total counter\n\
+             # TYPE span_calls_total counter\n\
+             span_seconds_total{path=\"align\"} 2\n\
+             span_calls_total{path=\"align\"} 1\n\
+             span_seconds_total{path=\"align/bp\"} 1.5\n\
+             span_calls_total{path=\"align/bp\"} 5\n"
+        );
+    }
+
+    #[test]
+    fn json_escapes_hostile_keys() {
+        let snap = Snapshot {
+            counters: [("we\"ird\\key\n".to_string(), 1u64)].into(),
+            ..Snapshot::default()
+        };
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{\"we\\\"ird\\\\key\\n\":1},\"gauges\":{},\
+             \"histograms\":{},\
+             \"spans\":{\"calls\":0,\"total_s\":0,\"children\":{}}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let snap = Snapshot {
+            gauges: [("bad".to_string(), f64::NAN)].into(),
+            ..Snapshot::default()
+        };
+        assert!(snap.to_json().contains("\"bad\":null"));
+    }
+}

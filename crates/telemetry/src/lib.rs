@@ -1,0 +1,82 @@
+//! # cualign-telemetry
+//!
+//! A zero-dependency (std-only) metrics and tracing subsystem for the
+//! cuAlign pipeline. The paper's whole evaluation is a story about where
+//! time and memory go — per-kernel BP timings (Table 2), sparsification
+//! counts (Fig. 4), matching rounds (§4.3) — and this crate is the
+//! observability layer that makes those quantities visible in every run,
+//! not just inside dedicated bench binaries.
+//!
+//! ## Model
+//!
+//! A [`Registry`] holds named instruments:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (events, items).
+//! * [`Gauge`] — last-write-wins `f64` (sizes, scores).
+//! * [`Histogram`] — log₂-bucketed value distribution with underflow and
+//!   overflow buckets (residuals, launch times).
+//!
+//! plus a hierarchical **span tree**: RAII [`SpanGuard`]s opened via
+//! [`Registry::span`] (or the measure-always [`Registry::timed`]) nest
+//! through a thread-local stack, and on drop fold `(path, duration)` into
+//! the tree — per-path call counts, total time, and (at export) self time.
+//! Each thread owns its own stack, so spans opened inside rayon workers
+//! never corrupt the tree; they simply record under the worker's own
+//! current path.
+//!
+//! All instrument updates are single atomic operations; the span tree
+//! takes one short mutex lock per span *exit*. Recording is additionally
+//! gated behind a process-global enabled flag ([`set_enabled`]): when
+//! telemetry is off, [`Registry::span`] is fully inert (no clock read, no
+//! allocation) and instrumented hot paths are expected to check
+//! [`enabled`] before computing derived quantities, so the subsystem can
+//! stay compiled-in for release builds at unmeasurable cost.
+//!
+//! ## Snapshots and exporters
+//!
+//! [`Registry::snapshot`] freezes everything into a plain-data
+//! [`Snapshot`] with three serializations:
+//!
+//! * [`Snapshot::render_tree`] — human-readable summary for the CLI
+//!   (`--telemetry summary`),
+//! * [`Snapshot::to_json`] — one JSON line, the `BENCH_*.json` contract,
+//! * [`Snapshot::to_prometheus`] — Prometheus text exposition format for
+//!   a future serving layer.
+//!
+//! The process-global registry is [`global`]; libraries record there so a
+//! binary can flip one flag and observe the whole stack. Isolated
+//! [`Registry`] instances exist for tests and embedders.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use cli::{TelemetryMode, TelemetrySink};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, Registry, Snapshot};
+pub use span::{SpanGuard, SpanSnapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry recording is globally enabled.
+///
+/// Instrumented hot paths should check this before computing derived
+/// quantities (residual norms, per-element scans) whose only consumer is
+/// telemetry. Plain counter/gauge/histogram updates are cheap enough
+/// (single atomics) to leave unconditioned.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables telemetry recording (span-tree capture
+/// and derived-quantity instrumentation). Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}

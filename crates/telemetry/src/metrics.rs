@@ -1,0 +1,448 @@
+//! The three instrument types: [`Counter`], [`Gauge`], and the
+//! log₂-bucketed [`Histogram`].
+//!
+//! All instruments are lock-free: every update is a single atomic RMW (the
+//! histogram's running sum uses a compare-exchange loop, which contends
+//! only under simultaneous writers to the *same* histogram). Instruments
+//! are handed out as `Arc`s by the [`crate::Registry`], so call sites can
+//! cache a handle once and update it from hot loops without re-touching
+//! the registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Smallest bucketed exponent: the first regular bucket covers
+/// `[2^MIN_EXP, 2^(MIN_EXP+1))`. Values below `2^MIN_EXP` (including
+/// zero, negatives, and NaN) land in the underflow bucket.
+pub const MIN_EXP: i32 = -32;
+/// Largest bucketed exponent: the last regular bucket covers
+/// `[2^MAX_EXP, 2^(MAX_EXP+1))`. Values at or above `2^(MAX_EXP+1)` land
+/// in the overflow bucket.
+pub const MAX_EXP: i32 = 31;
+/// Number of regular (power-of-two) buckets.
+pub const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// Index into the regular buckets for a finite positive value in range,
+/// or `None` for under/overflow. Exact at bucket boundaries: `2^k` is the
+/// *lowest* value of its bucket (exponent extracted from the bit pattern,
+/// not via `log2` rounding).
+fn bucket_of(v: f64) -> Option<usize> {
+    if v <= 0.0 || !v.is_finite() {
+        return None; // underflow (callers treat None+sign specially)
+    }
+    let bits = v.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        // Subnormal: below 2^-1022, far below MIN_EXP.
+        return None;
+    }
+    let exp = biased - 1023;
+    if !(MIN_EXP..=MAX_EXP).contains(&exp) {
+        return None;
+    }
+    Some((exp - MIN_EXP) as usize)
+}
+
+/// A log₂-bucketed histogram: `NUM_BUCKETS` power-of-two buckets plus
+/// explicit underflow and overflow buckets, a count, and a running sum.
+///
+/// Bucket `i` covers `[2^(MIN_EXP+i), 2^(MIN_EXP+i+1))`; the recorded
+/// upper bounds are therefore strictly increasing (pinned by tests).
+/// Non-finite and non-positive values count as underflow so a stray NaN
+/// is visible rather than silently dropped.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            // CAS loop for the f64 sum; uncontended in practice (per-sweep
+            // recording, not per-element).
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        match bucket_of(v) {
+            Some(i) => {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                let above_range =
+                    (v.is_finite() && v >= 2f64.powi(MAX_EXP + 1)) || (v.is_infinite() && v > 0.0);
+                if above_range {
+                    self.overflow.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.underflow.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Folds another histogram's observations into this one (bucketwise).
+    pub fn merge(&self, other: &Histogram) {
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.underflow
+            .fetch_add(other.underflow.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.overflow
+            .fetch_add(other.overflow.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let add = f64::from_bits(other.sum_bits.load(Ordering::Relaxed));
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            underflow: self.underflow.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen [`Histogram`]: plain data, safe to hold across exports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all finite observations.
+    pub sum: f64,
+    /// Observations below `2^MIN_EXP` (incl. zero / negative / NaN).
+    pub underflow: u64,
+    /// Observations at or above `2^(MAX_EXP+1)`.
+    pub overflow: u64,
+    /// Regular bucket counts; bucket `i` covers
+    /// `[2^(MIN_EXP+i), 2^(MIN_EXP+i+1))`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (all buckets zero).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            underflow: 0,
+            overflow: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// Exclusive upper bound of regular bucket `i`.
+    pub fn bucket_upper_bound(i: usize) -> f64 {
+        2f64.powi(MIN_EXP + i as i32 + 1)
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the bucket
+    /// where the cumulative count first reaches `q · count` (`q ∈ [0,1]`).
+    /// Underflow resolves to `2^MIN_EXP`, overflow to `+∞`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return 2f64.powi(MIN_EXP);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Pointwise sum of two snapshots.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            underflow: self.underflow + other.underflow,
+            overflow: self.overflow + other.overflow,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_strictly_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..NUM_BUCKETS {
+            let ub = HistogramSnapshot::bucket_upper_bound(i);
+            assert!(ub > prev, "bucket {i} bound {ub} not > {prev}");
+            assert!(ub.is_finite());
+            prev = ub;
+        }
+    }
+
+    #[test]
+    fn exact_powers_of_two_open_their_bucket() {
+        // 2^k is the inclusive lower bound of bucket k - MIN_EXP, so a
+        // value exactly at a boundary must land in the *upper* bucket.
+        for exp in [MIN_EXP, -8, -1, 0, 1, 7, MAX_EXP] {
+            let h = Histogram::new();
+            h.record(2f64.powi(exp));
+            let s = h.snapshot();
+            let i = (exp - MIN_EXP) as usize;
+            assert_eq!(s.buckets[i], 1, "2^{exp} not in bucket {i}");
+            // Just below the boundary lands one bucket down (or underflow).
+            let h2 = Histogram::new();
+            h2.record(2f64.powi(exp) * 0.999);
+            let s2 = h2.snapshot();
+            if exp == MIN_EXP {
+                assert_eq!(s2.underflow, 1);
+            } else {
+                assert_eq!(s2.buckets[i - 1], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow_buckets() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(2f64.powi(MIN_EXP) / 2.0);
+        h.record(2f64.powi(MAX_EXP + 1));
+        h.record(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.underflow, 4);
+        assert_eq!(s.overflow, 2);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 0);
+        // Sum skips non-finite values but keeps finite ones.
+        assert!((s.sum - (-3.0 + 2f64.powi(MIN_EXP) / 2.0 + 2f64.powi(MAX_EXP + 1))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_observation_lands_in_exactly_one_bucket() {
+        let h = Histogram::new();
+        let values = [1e-12, 0.001, 0.5, 1.0, 1.5, 2.0, 3.25, 1e6, 1e12];
+        for v in values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(
+            s.underflow + s.overflow + s.buckets.iter().sum::<u64>(),
+            values.len() as u64
+        );
+        assert_eq!(s.count, values.len() as u64);
+    }
+
+    #[test]
+    fn merge_is_pointwise_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [0.25, 1.0, 7.0, 0.0] {
+            a.record(v);
+        }
+        for v in [0.25, 1e20, f64::NAN] {
+            b.record(v);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        a.merge(&b);
+        let live = a.snapshot();
+        let pure = sa.merged(&sb);
+        // Live merge and snapshot merge agree (sum is NaN-free here since
+        // NaN is excluded from sums).
+        assert_eq!(live.count, pure.count);
+        assert_eq!(live.underflow, pure.underflow);
+        assert_eq!(live.overflow, pure.overflow);
+        assert_eq!(live.buckets, pure.buckets);
+        assert!((live.sum - pure.sum).abs() < 1e-9);
+        assert_eq!(live.count, 7);
+    }
+
+    #[test]
+    fn quantiles_track_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1.5); // bucket [1, 2)
+        }
+        for _ in 0..10 {
+            h.record(1000.0); // bucket [512, 1024)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.95), 1024.0);
+        assert!((s.mean() - (90.0 * 1.5 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 + 0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8000);
+        assert_eq!(
+            s.underflow + s.overflow + s.buckets.iter().sum::<u64>(),
+            8000
+        );
+        let expect: f64 = (0..8000).map(|i| i as f64 + 0.5).sum();
+        assert!((s.sum - expect).abs() < 1e-6, "sum {} vs {}", s.sum, expect);
+    }
+}

@@ -1,0 +1,177 @@
+//! The telemetry view of session caching: the `session.<stage>.hits` /
+//! `.misses` registry counters are the *canonical* per-stage cache
+//! statistics (ISSUE 3 satellite — `StageTimings.cache_hits` was a
+//! global sum with no per-stage attribution). This file re-runs the
+//! invalidation matrix of `session_cache.rs` and asserts it against the
+//! counters instead of build counts, plus the `StageTimings` span-tree
+//! view.
+//!
+//! Every test leaks a fresh [`Registry`] so parallel-running tests (and
+//! the globally-registered sessions of other files) cannot perturb the
+//! counts.
+
+use cualign::{AlignerConfig, AlignmentSession, SparsityChoice, StageTimings};
+use cualign_embed::{EmbeddingMethod, SpectralConfig};
+use cualign_graph::generators::erdos_renyi_gnm;
+use cualign_graph::permutation::AlignmentInstance;
+use cualign_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_cfg() -> AlignerConfig {
+    let mut cfg = AlignerConfig {
+        embedding: EmbeddingMethod::Spectral(SpectralConfig {
+            dim: 20,
+            oversample: 10,
+            ..Default::default()
+        }),
+        sparsity: SparsityChoice::K(6),
+        ..AlignerConfig::default()
+    };
+    cfg.bp.max_iters = 8;
+    cfg.subspace.anchors = 0;
+    cfg
+}
+
+fn instance(seed: u64, n: usize, m: usize) -> AlignmentInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = erdos_renyi_gnm(n, m, &mut rng);
+    AlignmentInstance::permuted_pair(a, &mut rng)
+}
+
+fn fresh_registry() -> &'static Registry {
+    Box::leak(Box::new(Registry::new_enabled()))
+}
+
+/// Reads the five `(hits, misses)` pairs out of a registry snapshot, in
+/// pipeline order.
+fn stage_stats(reg: &Registry) -> [(u64, u64); 5] {
+    let snap = reg.snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    ["embed", "subspace", "sparsify", "overlap", "optimize"].map(|stage| {
+        (
+            get(&format!("session.{stage}.hits")),
+            get(&format!("session.{stage}.misses")),
+        )
+    })
+}
+
+/// The invalidation matrix, row by row, asserted against the per-stage
+/// counters: each config change misses exactly the stages downstream of
+/// what it fingerprints and hits everything upstream.
+#[test]
+fn invalidation_matrix_is_visible_per_stage() {
+    let inst = instance(11, 120, 360);
+    let reg = fresh_registry();
+    let mut s = AlignmentSession::with_registry(&inst.a, &inst.b, test_cfg(), reg).unwrap();
+
+    // Cold run: every stage misses once, nothing hits.
+    s.align().unwrap();
+    assert_eq!(stage_stats(reg), [(0, 1); 5]);
+
+    // `align()` on an untouched session serves all five from cache.
+    s.align().unwrap();
+    assert_eq!(stage_stats(reg), [(1, 1); 5]);
+
+    // Sparsity change: embed + subspace hit, the back half misses.
+    s.update_config(|c| c.sparsity = SparsityChoice::K(8))
+        .unwrap();
+    s.align().unwrap();
+    assert_eq!(
+        stage_stats(reg),
+        [(2, 1), (2, 1), (1, 2), (1, 2), (1, 2)],
+        "sparsity change must only invalidate sparsify/overlap/optimize"
+    );
+
+    // BP budget change: everything through S hits, only optimize misses.
+    s.update_config(|c| c.bp.max_iters = 16).unwrap();
+    s.align().unwrap();
+    assert_eq!(
+        stage_stats(reg),
+        [(3, 1), (3, 1), (2, 2), (2, 2), (1, 3)],
+        "bp change must only invalidate optimize"
+    );
+
+    // Embedding seed change: the whole chain misses.
+    s.update_config(|c| {
+        if let EmbeddingMethod::Spectral(sc) = &mut c.embedding {
+            sc.seed = sc.seed.wrapping_add(1);
+        }
+    })
+    .unwrap();
+    s.align().unwrap();
+    assert_eq!(
+        stage_stats(reg),
+        [(3, 2), (3, 2), (2, 3), (2, 3), (1, 4)],
+        "embedding change must invalidate everything"
+    );
+}
+
+/// Partial pipeline pulls attribute hits to the stage actually asked
+/// for — `embeddings()` twice is one miss then one hit, and does not
+/// touch downstream counters at all.
+#[test]
+fn partial_pulls_attribute_to_the_right_stage() {
+    let inst = instance(12, 100, 300);
+    let reg = fresh_registry();
+    let mut s = AlignmentSession::with_registry(&inst.a, &inst.b, test_cfg(), reg).unwrap();
+
+    s.embeddings().unwrap();
+    s.embeddings().unwrap();
+    assert_eq!(stage_stats(reg), [(1, 1), (0, 0), (0, 0), (0, 0), (0, 0)]);
+
+    // `artifacts()` pulls sparsify + overlap; embed/subspace hit via the
+    // dependency walk, optimize stays untouched.
+    s.artifacts().unwrap();
+    assert_eq!(stage_stats(reg), [(2, 1), (0, 1), (0, 1), (0, 1), (0, 0)]);
+}
+
+/// Two sessions on distinct registries cannot see each other's traffic —
+/// the property that makes the per-stage counters trustworthy in tests.
+#[test]
+fn per_registry_counters_are_isolated() {
+    let inst = instance(13, 90, 270);
+    let (ra, rb) = (fresh_registry(), fresh_registry());
+    let mut sa = AlignmentSession::with_registry(&inst.a, &inst.b, test_cfg(), ra).unwrap();
+    let mut sb = AlignmentSession::with_registry(&inst.a, &inst.b, test_cfg(), rb).unwrap();
+
+    sa.align().unwrap();
+    sa.align().unwrap();
+    sb.align().unwrap();
+
+    assert_eq!(stage_stats(ra), [(1, 1); 5]);
+    assert_eq!(stage_stats(rb), [(0, 1); 5]);
+}
+
+/// `StageTimings::from_snapshot` is a thin view of the span tree: the
+/// per-stage seconds come from the `session.<stage>` spans and its
+/// `cache_hits` is the sum of the per-stage hit counters. It must agree
+/// with the session's own cumulative accounting.
+#[test]
+fn stage_timings_are_a_view_of_the_span_tree() {
+    let inst = instance(14, 110, 330);
+    let reg = fresh_registry();
+    let mut s = AlignmentSession::with_registry(&inst.a, &inst.b, test_cfg(), reg).unwrap();
+    s.align().unwrap();
+    s.update_config(|c| c.sparsity = SparsityChoice::K(9))
+        .unwrap();
+    s.align().unwrap();
+
+    let t = StageTimings::from_snapshot(&reg.snapshot());
+    let c = s.cumulative_timings();
+
+    // Span totals and the session's cumulative numbers come from the
+    // same `Registry::timed` calls; the two clock reads bracket each
+    // other within microseconds.
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-3;
+    assert!(close(t.embedding_s, c.embedding_s), "{t:?} vs {c:?}");
+    assert!(close(t.subspace_s, c.subspace_s));
+    assert!(close(t.sparsify_s, c.sparsify_s));
+    assert!(close(t.overlap_s, c.overlap_s));
+    assert!(close(t.optimize_s, c.optimize_s));
+    assert!(t.embedding_s > 0.0, "spectral embedding takes nonzero time");
+
+    let hits: u64 = stage_stats(reg).iter().map(|&(h, _)| h).sum();
+    assert_eq!(t.cache_hits as u64, hits);
+    assert_eq!(t.cache_hits, 2, "embed + subspace hit on the second run");
+}
