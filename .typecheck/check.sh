@@ -48,7 +48,8 @@ else
   cargo check --workspace --bins --examples &&
     cargo check -p cualign --test pipeline_integration \
       --test crosscrate_invariants --test gpusim_consistency \
-      --test session_cache --test telemetry_session &&
+      --test session_cache --test telemetry_session \
+      --test multilevel_pipeline &&
     cargo check -p cualign-telemetry --tests &&
     cargo check -p cualign-bench --benches
   status=$?

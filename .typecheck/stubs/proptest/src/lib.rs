@@ -211,7 +211,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Size specifiers accepted by [`vec`].
+        /// Size specifiers accepted by [`vec`](fn@vec).
         pub trait SizeRange {
             /// Picks a concrete length.
             fn pick(&self, rng: &mut TestRng) -> usize;

@@ -12,9 +12,16 @@
 //! | `fig7`   | Fig. 7 — run time: cuAlign-GPU vs cone-align |
 //! | `table2` | Table 2 — BP / matching / total GPU speedups |
 //! | `ablation_gpu` | §5 design-choice ablations under the GPU model |
+//! | `bench_session` | telemetry snapshot of a stage-cached session sweep |
+//! | `bench_multilevel` | multilevel vs. flat speedup/quality record |
 //!
 //! Criterion microbenches (`benches/`) cover the component kernels and
 //! the CPU-side ablations.
+//!
+//! **Place in the pipeline** (paper Fig. 2): above everything — this
+//! crate only *drives* the public `cualign` API (sessions, the
+//! multilevel wrapper, the GPU cost model) and serializes what comes
+//! back; no alignment logic lives here.
 //!
 //! All sweep drivers run on [`cualign::AlignmentSession`]: a k-point
 //! sweep pays the run-once initialization (embedding + subspace) once,

@@ -25,6 +25,13 @@
 //! over the nonzeros) and the **unfused** two-pass variant are
 //! implemented; they are bit-identical in output and differ only in
 //! memory traffic, which the GPU simulator charges accordingly.
+//!
+//! **Place in the pipeline** (paper Fig. 2): the optimization loop —
+//! stage 4, alternating with the matching-based rounding of
+//! `cualign-matching` until the objective stops improving. The
+//! multilevel wrapper reuses the engine at every refinement level with
+//! [`BpConfig::warm_start`], seeding the damped messages from the
+//! band's projection confidences instead of from zero.
 
 #![warn(missing_docs)]
 

@@ -1,6 +1,6 @@
 //! Matching-relaxation (MR) iteration — the LP/Lagrangian-relaxation
 //! family of network aligners (Klau's natalie, the paper's references
-//! [13] and [19]), in the simple fixed-point form netalign ships as
+//! \[13\] and \[19\]), in the simple fixed-point form netalign ships as
 //! `netalignmr`'s cheap cousin.
 //!
 //! The quadratic objective `α⟨w, x⟩ + (β/2)⟨Sx, x⟩` is linearized at the

@@ -1,5 +1,5 @@
 //! IsoRank-style similarity-flow alignment (Singh, Xu, Berger — the
-//! paper's reference [27]).
+//! paper's reference \[27\]).
 //!
 //! The similarity of `(u ∈ A, v ∈ B)` is defined recursively: a pair is
 //! similar if its neighbor pairs are similar,

@@ -3,10 +3,10 @@
 //! comparators beyond cone-align:
 //!
 //! * [`isorank`] — similarity-flow alignment (Singh et al., reference
-//!   [27]): the classical "IsoRank" fixpoint where two vertices are
+//!   \[27\]): the classical "IsoRank" fixpoint where two vertices are
 //!   similar when their neighbors are similar, rounded by matching.
 //! * [`seed_expand`] — seed-and-extend reconciliation (Korula–Lattanzi,
-//!   reference [17]): start from a few high-confidence pairs and grow the
+//!   reference \[17\]): start from a few high-confidence pairs and grow the
 //!   alignment by common-neighbor witnessing.
 //! * [`exact`] — exhaustive branch-and-bound over injective mappings for
 //!   tiny instances; the ground-truth oracle the test suite uses to bound

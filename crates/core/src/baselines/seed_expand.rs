@@ -1,5 +1,5 @@
 //! Seed-and-extend alignment — the reconciliation heuristic of Korula &
-//! Lattanzi (the paper's reference [17]).
+//! Lattanzi (the paper's reference \[17\]).
 //!
 //! Given a small set of trusted seed pairs, repeatedly promote the
 //! candidate pair with the most *witnesses* — already-aligned neighbor

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cualign align --graph-a A.txt --graph-b B.txt [--density 0.025 | --k 10]
-//!               [--bp-iters 25] [--dim 128] [--method cualign|cone|isorank]
+//!               [--bp-iters 25] [--dim 128] [--multilevel L]
+//!               [--method cualign|cone|isorank]
 //!               [--output mapping.tsv] [--telemetry off|summary|json:PATH]
 //! cualign stats --graph G.txt
 //! cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M
@@ -45,7 +46,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--method cualign|cone|isorank] [--output OUT.tsv] \\\n                [--telemetry off|summary|json:PATH]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
+        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--multilevel L] \\\n                [--method cualign|cone|isorank] [--output OUT.tsv] \\\n                [--telemetry off|summary|json:PATH]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
     );
     ExitCode::from(2)
 }
@@ -125,6 +126,9 @@ fn config_from_flags(flags: &HashMap<String, String>) -> Result<AlignerConfig, S
     }
     if let Some(dim) = flags.get("dim") {
         builder = builder.embedding_dim(dim.parse().map_err(|e| format!("--dim: {e}"))?);
+    }
+    if let Some(levels) = flags.get("multilevel") {
+        builder = builder.multilevel(levels.parse().map_err(|e| format!("--multilevel: {e}"))?);
     }
     builder.build().map_err(|e| e.to_string())
 }
@@ -261,6 +265,16 @@ mod tests {
         assert!(err.contains("sparsity.density"), "{err}");
         let f = parse_flags(&v(&["--dim", "0"])).unwrap();
         assert!(config_from_flags(&f).is_err());
+    }
+
+    #[test]
+    fn multilevel_flag_routes_through_builder() {
+        let f = parse_flags(&v(&["--multilevel", "3"])).unwrap();
+        let cfg = config_from_flags(&f).unwrap();
+        assert_eq!(cfg.multilevel.unwrap().levels, 3);
+        let f = parse_flags(&v(&["--multilevel", "0"])).unwrap();
+        let err = config_from_flags(&f).unwrap_err();
+        assert!(err.contains("multilevel.levels"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! `build_l` sparsification contract.
 
 use crate::error::AlignError;
+use crate::multilevel::MultilevelConfig;
 use cualign_bp::{BpConfig, MatcherKind};
 use cualign_embed::{EmbeddingMethod, SubspaceAlignConfig};
 use cualign_graph::BipartiteGraph;
@@ -43,6 +44,12 @@ pub struct AlignerConfig {
     pub sparsity: SparsityChoice,
     /// Belief-propagation parameters (Algorithm 2).
     pub bp: BpConfig,
+    /// Multilevel coarsen–align–project–refine wrapper. `None` (the
+    /// default) runs the flat pipeline; `Some` makes
+    /// [`crate::Aligner::align`] dispatch through
+    /// [`crate::align_multilevel`]. Sessions always run flat — the
+    /// multilevel driver *uses* a session at the coarsest level.
+    pub multilevel: Option<MultilevelConfig>,
 }
 
 impl Default for AlignerConfig {
@@ -52,6 +59,7 @@ impl Default for AlignerConfig {
             subspace: SubspaceAlignConfig::default(),
             sparsity: SparsityChoice::Density(0.025),
             bp: BpConfig::default(),
+            multilevel: None,
         }
     }
 }
@@ -143,6 +151,23 @@ impl AlignerConfig {
                 format!("must be > 0, got {}", self.subspace.epsilon_start),
             );
         }
+        if let Some(ml) = self.multilevel {
+            if ml.levels == 0 {
+                return bad("multilevel.levels", "must be at least 1".into());
+            }
+            if ml.band_k == 0 {
+                return bad("multilevel.band_k", "must be at least 1".into());
+            }
+            if ml.refine_bp_iters == 0 {
+                return bad("multilevel.refine_bp_iters", "must be at least 1".into());
+            }
+            if ml.min_coarse_vertices < 2 {
+                return bad(
+                    "multilevel.min_coarse_vertices",
+                    "must be at least 2 (a 1-vertex graph cannot align)".into(),
+                );
+            }
+        }
         Ok(())
     }
 
@@ -175,6 +200,18 @@ impl AlignerConfig {
         };
         cualign_sparsify::build_with(ya, yb, &rule)
     }
+}
+
+/// Returns `cfg` with the embedding dimension of the active method
+/// replaced — the multilevel driver uses this to clamp the dimension to
+/// the coarsest graph's size.
+pub(crate) fn with_embedding_dim(mut cfg: AlignerConfig, dim: usize) -> AlignerConfig {
+    match &mut cfg.embedding {
+        EmbeddingMethod::Spectral(c) => c.dim = dim,
+        EmbeddingMethod::FastRp(c) => c.dim = dim,
+        EmbeddingMethod::NetMf(c) => c.dim = dim,
+    }
+    cfg
 }
 
 /// Validating builder for [`AlignerConfig`]. Setters are chainable;
@@ -284,6 +321,29 @@ impl AlignerConfigBuilder {
         self
     }
 
+    /// Enables the multilevel coarsen–align–project–refine wrapper with
+    /// `levels` coarsening levels and default refinement knobs:
+    ///
+    /// ```
+    /// use cualign::AlignerConfig;
+    /// let cfg = AlignerConfig::builder().multilevel(3).build().unwrap();
+    /// assert_eq!(cfg.multilevel.unwrap().levels, 3);
+    /// assert!(AlignerConfig::builder().multilevel(0).build().is_err());
+    /// ```
+    pub fn multilevel(mut self, levels: usize) -> Self {
+        self.cfg.multilevel = Some(MultilevelConfig {
+            levels,
+            ..MultilevelConfig::default()
+        });
+        self
+    }
+
+    /// Replaces the multilevel configuration wholesale (all knobs).
+    pub fn multilevel_config(mut self, ml: MultilevelConfig) -> Self {
+        self.cfg.multilevel = Some(ml);
+        self
+    }
+
     /// Validates and returns the finished configuration.
     pub fn build(self) -> Result<AlignerConfig, AlignError> {
         self.cfg.validate()?;
@@ -372,6 +432,40 @@ mod tests {
             .objective(1.0, f64::INFINITY)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn multilevel_knobs_are_validated() {
+        let cfg = AlignerConfig::builder().multilevel(3).build().unwrap();
+        let ml = cfg.multilevel.unwrap();
+        assert_eq!(ml.levels, 3);
+        assert!(ml.band_k >= 1 && ml.refine_bp_iters >= 1);
+        assert!(AlignerConfig::default().multilevel.is_none());
+        for bad in [
+            MultilevelConfig {
+                levels: 0,
+                ..Default::default()
+            },
+            MultilevelConfig {
+                band_k: 0,
+                ..Default::default()
+            },
+            MultilevelConfig {
+                refine_bp_iters: 0,
+                ..Default::default()
+            },
+            MultilevelConfig {
+                min_coarse_vertices: 1,
+                ..Default::default()
+            },
+        ] {
+            let err = AlignerConfig::builder()
+                .multilevel_config(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, AlignError::InvalidConfig { field, .. }
+                if field.starts_with("multilevel.")));
+        }
     }
 
     #[test]

@@ -34,14 +34,18 @@
 //! ## Architecture
 //!
 //! The pipeline (paper Fig. 2) is assembled from dedicated crates:
-//! `cualign-graph` (substrate), `cualign-linalg` (SVD/Sinkhorn/Procrustes),
-//! `cualign-embed` (embeddings + Eq. 2), `cualign-sparsify` (kNN → `L`),
-//! `cualign-overlap` (matrix `S`), `cualign-bp` (Algorithm 2),
-//! `cualign-matching` (§4.3), and `cualign-gpusim` (the GPU cost model for
-//! the Table 2 study). This crate provides the user-facing [`Aligner`]
-//! and the stage-cached [`AlignmentSession`] engine behind it, the
-//! [`conealign`] baseline, alignment [`scoring`], and the paper's named
-//! [`inputs`].
+//! `cualign-graph` (substrate + coarsening), `cualign-linalg`
+//! (SVD/Sinkhorn/Procrustes), `cualign-embed` (embeddings + Eq. 2),
+//! `cualign-sparsify` (kNN → `L`), `cualign-overlap` (matrix `S`),
+//! `cualign-bp` (Algorithm 2), `cualign-matching` (§4.3),
+//! `cualign-gpusim` (the GPU cost model for the Table 2 study), and
+//! `cualign-telemetry` (spans/counters under every stage). This crate
+//! provides the user-facing [`Aligner`] and the stage-cached
+//! [`AlignmentSession`] engine behind it, the [`multilevel`]
+//! coarsen–align–project–refine driver
+//! (`AlignerConfig::builder().multilevel(levels)`), the [`conealign`]
+//! baseline, alignment [`scoring`], and the paper's named [`inputs`].
+//! `docs/ARCHITECTURE.md` has the full stage diagram.
 
 #![warn(missing_docs)]
 
@@ -50,6 +54,7 @@ pub mod conealign;
 pub mod config;
 pub mod error;
 pub mod inputs;
+pub mod multilevel;
 pub mod pipeline;
 pub mod scoring;
 pub mod session;
@@ -59,6 +64,7 @@ pub use conealign::{cone_align, cone_align_session, ConeAlignResult};
 pub use config::{AlignerConfig, AlignerConfigBuilder, SparsityChoice};
 pub use error::{AlignError, GraphSide};
 pub use inputs::PaperInput;
+pub use multilevel::{align_multilevel, align_multilevel_with_registry, MultilevelConfig};
 pub use pipeline::{Aligner, AlignmentResult, StageTimings};
 pub use scoring::{score_alignment, AlignmentScores};
 pub use session::{AlignmentSession, Embeddings, StageCounters};

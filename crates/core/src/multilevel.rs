@@ -1,0 +1,442 @@
+//! The multilevel coarsen–align–project–refine driver (CAPER-style
+//! wrapper around the flat cuAlign pipeline).
+//!
+//! cuAlign's wall-clock is dominated by kNN construction and BP sweeps
+//! on the full product space (paper §5–6). This module trades a little
+//! projection bookkeeping for running those stages only on heavily
+//! contracted graphs:
+//!
+//! 1. **Coarsen** — both inputs are contracted `L` times with
+//!    heavy-edge matching ([`cualign_graph::coarsen`]).
+//! 2. **Align** — the existing [`AlignmentSession`] pipeline (embed →
+//!    subspace → kNN → overlap → BP ⇄ matching) runs *only* on the
+//!    coarsest pair, with the embedding dimension clamped to the coarse
+//!    size.
+//! 3. **Project** — the coarse matching is pushed down one level
+//!    through the vertex-merge maps: the children of a matched coarse
+//!    pair become seed pairs.
+//! 4. **Refine** — at every level a *band* bipartite graph is built
+//!    around the projected pairs (the seeds plus the top-`band_k`
+//!    neighborhood-vote candidates per vertex — a kNN band in vote
+//!    space), a few warm-started BP sweeps run on it
+//!    ([`cualign_bp::BpConfig::warm_start`]), and a half-approximate
+//!    (locally dominant) matching repair pass completes the rounding
+//!    for vertices BP left unmatched. Steps 3–4 repeat until the
+//!    original graphs are reached.
+//!
+//! Entry points: [`AlignerConfig::builder`]`.multilevel(levels)` routes
+//! [`crate::Aligner::align`] through [`align_multilevel`]; the CLI and
+//! bench binaries expose the same knob as `--multilevel N`.
+//!
+//! Every stage is instrumented: a `multilevel.coarsen` span, a
+//! `multilevel.coarse_align` span wrapping the coarsest-level session,
+//! per-level `multilevel.level<k>.{band,overlap,bp,repair}` spans under
+//! a `multilevel.level<k>.refine` parent, and per-level
+//! `multilevel.level<k>.{projected_pairs,band_edges,bp_matched,repaired_pairs}`
+//! counters (always-on atomics, like all registry counters).
+//!
+//! Timing attribution in the returned [`crate::StageTimings`]: the coarse
+//! session reports its own five stages; coarsening and band
+//! construction are folded into `sparsify_s` (candidate-structure
+//! construction), per-level overlap builds into `overlap_s`, and BP +
+//! repair into `optimize_s`.
+//!
+//! ```
+//! use cualign::{Aligner, AlignerConfig};
+//! use cualign_graph::generators::erdos_renyi_gnm;
+//! use cualign_graph::permutation::AlignmentInstance;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let a = erdos_renyi_gnm(220, 660, &mut rng);
+//! let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+//! let cfg = AlignerConfig::builder()
+//!     .k(6)
+//!     .bp_iters(6)
+//!     .multilevel(1)
+//!     .build()?;
+//! let result = Aligner::new(cfg).align(&inst.a, &inst.b)?;
+//! assert!(result.scores.ncv_gs3 > 0.0);
+//! # Ok::<(), cualign::AlignError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::config::AlignerConfig;
+use crate::error::AlignError;
+use crate::pipeline::AlignmentResult;
+use crate::scoring::score_alignment;
+use crate::session::AlignmentSession;
+use cualign_bp::BpEngine;
+use cualign_graph::coarsen::{CoarseLevel, CoarsenConfig, CoarseningHierarchy};
+use cualign_graph::{BipartiteGraph, CsrGraph, VertexId};
+use cualign_matching::{locally_dominant_parallel, Matching};
+use cualign_overlap::OverlapMatrix;
+use cualign_telemetry::Registry;
+use rayon::prelude::*;
+
+/// Knobs of the multilevel wrapper. Constructed by
+/// [`AlignerConfig::builder`]`.multilevel(levels)` with the defaults
+/// below, or passed wholesale via `.multilevel_config(..)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultilevelConfig {
+    /// Coarsening levels `L` requested for both graphs. The effective
+    /// depth can be smaller when coarsening stalls or hits the
+    /// [`MultilevelConfig::min_coarse_vertices`] floor.
+    pub levels: usize,
+    /// Candidate cap per A-side vertex in each refinement band.
+    pub band_k: usize,
+    /// Warm-started BP sweeps per refinement level (the flat pipeline's
+    /// `bp.max_iters` applies only at the coarsest level).
+    pub refine_bp_iters: usize,
+    /// Coarsening stops once a graph has at most this many vertices.
+    pub min_coarse_vertices: usize,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            levels: 2,
+            band_k: 8,
+            refine_bp_iters: 6,
+            min_coarse_vertices: 64,
+        }
+    }
+}
+
+/// Per-vertex neighbor scan cap in the band vote accumulation, so a hub
+/// vertex cannot turn candidate generation quadratic.
+const MAX_NEIGHBOR_SCAN: usize = 128;
+
+/// Runs the multilevel pipeline on `a` and `b` under `cfg` (which must
+/// carry `Some` [`AlignerConfig::multilevel`]; defaults are used
+/// otherwise). Prefer [`crate::Aligner::align`], which dispatches here
+/// automatically.
+///
+/// Falls back to the flat pipeline when neither graph can be coarsened
+/// (both already at or below the floor), so results degrade gracefully
+/// on small inputs.
+pub fn align_multilevel(
+    a: &CsrGraph,
+    b: &CsrGraph,
+    cfg: &AlignerConfig,
+) -> Result<AlignmentResult, AlignError> {
+    align_multilevel_with_registry(a, b, cfg, cualign_telemetry::global())
+}
+
+/// As [`align_multilevel`], recording into an explicit registry. Test
+/// seam mirroring [`AlignmentSession::with_registry`] — concurrent
+/// tests would otherwise see each other's global counters.
+pub fn align_multilevel_with_registry(
+    a: &CsrGraph,
+    b: &CsrGraph,
+    cfg: &AlignerConfig,
+    registry: &'static Registry,
+) -> Result<AlignmentResult, AlignError> {
+    cfg.validate()?;
+    let ml = cfg.multilevel.unwrap_or_default();
+    let mut flat_cfg = cfg.clone();
+    flat_cfg.multilevel = None;
+
+    let ccfg = CoarsenConfig {
+        min_vertices: ml.min_coarse_vertices,
+        ..CoarsenConfig::default()
+    };
+    let ((ha, hb), coarsen_s) = registry.timed("multilevel.coarsen", || {
+        (
+            CoarseningHierarchy::build(a, ml.levels, &ccfg),
+            CoarseningHierarchy::build(b, ml.levels, &ccfg),
+        )
+    });
+    let depth = ha.depth().min(hb.depth());
+    registry.gauge("multilevel.depth").set(depth as f64);
+    if depth == 0 {
+        return AlignmentSession::with_registry(a, b, flat_cfg, registry)?.align();
+    }
+
+    let ga_at = |j: usize| if j == 0 { a } else { &ha.level(j - 1).graph };
+    let gb_at = |j: usize| if j == 0 { b } else { &hb.level(j - 1).graph };
+
+    // Coarsest-level flat alignment, with the embedding dimension (and
+    // anchor count) clamped to the contracted sizes.
+    let (ca, cb) = (ga_at(depth), gb_at(depth));
+    let min_n = ca.num_vertices().min(cb.num_vertices());
+    let mut coarse_cfg = flat_cfg;
+    let capped_dim = coarse_cfg.embedding.dim().min((min_n / 2).max(1));
+    coarse_cfg = crate::config::with_embedding_dim(coarse_cfg, capped_dim);
+    if coarse_cfg.subspace.anchors >= min_n {
+        coarse_cfg.subspace.anchors = 0; // 0 = use every vertex
+    }
+    let coarse_res = {
+        let _span = registry.span("multilevel.coarse_align");
+        AlignmentSession::with_registry(ca, cb, coarse_cfg, registry)?.align()?
+    };
+
+    let mut mapping = coarse_res.mapping;
+    let mut timings = coarse_res.timings;
+    timings.sparsify_s += coarsen_s;
+    let mut matching = coarse_res.matching;
+    let mut bp_outcome = coarse_res.bp;
+    let mut l_edges = coarse_res.l_edges;
+    let mut s_nnz = coarse_res.s_nnz;
+
+    for j in (0..depth).rev() {
+        let _level_span = registry.span(&format!("multilevel.level{j}.refine"));
+        let (ga, gb) = (ga_at(j), gb_at(j));
+        let (level_a, level_b) = (ha.level(j), hb.level(j));
+
+        let (band, band_s) = registry.timed(&format!("multilevel.level{j}.band"), || {
+            build_band(ga, gb, level_a, level_b, &mapping, ml.band_k)
+        });
+        registry
+            .counter(&format!("multilevel.level{j}.projected_pairs"))
+            .add(band.projected_pairs as u64);
+        if band.triples.is_empty() {
+            return Err(AlignError::EmptySparsification);
+        }
+        let l_band = BipartiteGraph::from_weighted_edges(
+            ga.num_vertices(),
+            gb.num_vertices(),
+            &band.triples,
+        );
+        registry
+            .counter(&format!("multilevel.level{j}.band_edges"))
+            .add(l_band.num_edges() as u64);
+
+        let (s, overlap_s) = registry.timed(&format!("multilevel.level{j}.overlap"), || {
+            OverlapMatrix::build(ga, gb, &l_band)
+        });
+
+        let mut bp_cfg = cfg.bp;
+        bp_cfg.max_iters = ml.refine_bp_iters.max(1);
+        bp_cfg.warm_start = true;
+        let (out, bp_s) = registry.timed(&format!("multilevel.level{j}.bp"), || {
+            BpEngine::new(&l_band, &s, &bp_cfg).run()
+        });
+        registry
+            .counter(&format!("multilevel.level{j}.bp_matched"))
+            .add(out.best_matching.len() as u64);
+
+        let ((repaired_matching, repaired), repair_s) = registry
+            .timed(&format!("multilevel.level{j}.repair"), || {
+                repair(&l_band, &out.best_matching)
+            });
+        registry
+            .counter(&format!("multilevel.level{j}.repaired_pairs"))
+            .add(repaired as u64);
+
+        mapping = repaired_matching.mates_a().to_vec();
+        timings.sparsify_s += band_s;
+        timings.overlap_s += overlap_s;
+        timings.optimize_s += bp_s + repair_s;
+        l_edges = l_band.num_edges();
+        s_nnz = s.nnz();
+        matching = repaired_matching;
+        bp_outcome = out;
+    }
+
+    let scores = score_alignment(a, b, &mapping);
+    Ok(AlignmentResult {
+        matching,
+        mapping,
+        scores,
+        bp: bp_outcome,
+        timings,
+        l_edges,
+        s_nnz,
+    })
+}
+
+/// The projected candidate band for one level.
+struct Band {
+    /// `(a, b, weight)` candidate edges, weights in `(0, 1]`.
+    triples: Vec<(VertexId, VertexId, f64)>,
+    /// Number of A-side vertices whose coarse parent was matched (the
+    /// seeds the band grew around).
+    projected_pairs: usize,
+}
+
+/// Builds the refinement band at one level: each fine A-vertex's
+/// candidates are its *seeds* (children of its matched coarse parent's
+/// mate) plus neighborhood-vote candidates — every neighbor `u'` of `u`
+/// votes for the B-side neighbors of `u'`'s seeds, since the true mate
+/// of `u` must be adjacent to the true mate of `u'`. Seeds always
+/// survive (they *are* the projection); the top `band_k` non-seed
+/// candidates by vote fill the rest of the budget. Every surviving
+/// candidate is weighted by normalized vote so BP's warm start sees the
+/// projection confidence.
+fn build_band(
+    ga: &CsrGraph,
+    gb: &CsrGraph,
+    level_a: &CoarseLevel,
+    level_b: &CoarseLevel,
+    coarse_mapping: &[Option<VertexId>],
+    band_k: usize,
+) -> Band {
+    let na = ga.num_vertices();
+    let seeds_of = |u: VertexId| -> &[VertexId] {
+        match coarse_mapping[level_a.merge_map[u as usize] as usize] {
+            Some(cb) => level_b.children_of(cb),
+            None => &[],
+        }
+    };
+
+    let per_vertex: Vec<Vec<(VertexId, VertexId, f64)>> = (0..na as VertexId)
+        .into_par_iter()
+        .map(|u| {
+            let mut votes: HashMap<VertexId, f64> = HashMap::new();
+            // Direct projection: strong prior on the seed pairs.
+            for &s in seeds_of(u) {
+                *votes.entry(s).or_insert(0.0) += 2.0;
+            }
+            // Neighborhood consistency votes.
+            for &up in ga.neighbors(u).iter().take(MAX_NEIGHBOR_SCAN) {
+                for &s in seeds_of(up) {
+                    for &v in gb.neighbors(s).iter().take(MAX_NEIGHBOR_SCAN) {
+                        *votes.entry(v).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+            if votes.is_empty() {
+                return Vec::new();
+            }
+            let mut cands: Vec<(VertexId, f64)> = votes.into_iter().collect();
+            cands.sort_unstable_by(|x, y| {
+                y.1.partial_cmp(&x.1)
+                    .expect("votes are finite")
+                    .then(x.0.cmp(&y.0))
+            });
+            let max_vote = cands[0].1;
+            let seeds = seeds_of(u);
+            let cap = band_k.max(1);
+            let mut non_seed = 0usize;
+            cands.retain(|&(v, _)| {
+                if seeds.contains(&v) {
+                    true
+                } else {
+                    non_seed += 1;
+                    non_seed <= cap
+                }
+            });
+            cands
+                .into_iter()
+                .map(|(v, vote)| (u, v, (0.5 + vote) / (0.5 + max_vote)))
+                .collect()
+        })
+        .collect();
+
+    let projected_pairs = (0..na as VertexId)
+        .filter(|&u| !seeds_of(u).is_empty())
+        .count();
+    Band {
+        triples: per_vertex.into_iter().flatten().collect(),
+        projected_pairs,
+    }
+}
+
+/// The half-approximate repair pass: vertices BP's rounding left
+/// unmatched get a second chance on the residual band (weights of edges
+/// touching matched vertices are zeroed; the locally dominant matchers
+/// ignore non-positive weights), and the two vertex-disjoint matchings
+/// are merged. Returns the merged matching and the number of repaired
+/// pairs.
+fn repair(l: &BipartiteGraph, bp_matching: &Matching) -> (Matching, usize) {
+    let mut residual = l.clone();
+    let mates_a = bp_matching.mates_a();
+    let mates_b = bp_matching.mates_b();
+    {
+        let w = residual.weights_mut();
+        for (e, edge) in l.edges().iter().enumerate() {
+            if mates_a[edge.a as usize].is_some() || mates_b[edge.b as usize].is_some() {
+                w[e] = 0.0;
+            }
+        }
+    }
+    let extra = locally_dominant_parallel(&residual);
+    let mut ids = bp_matching.edge_ids().to_vec();
+    ids.extend_from_slice(extra.edge_ids());
+    (Matching::from_edge_ids(l, ids), extra.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign_graph::generators::erdos_renyi_gnm;
+    use cualign_graph::permutation::AlignmentInstance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fresh_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::new_enabled()))
+    }
+
+    fn ml_cfg(levels: usize) -> AlignerConfig {
+        AlignerConfig::builder()
+            .k(6)
+            .bp_iters(8)
+            .multilevel(levels)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recovers_permuted_er_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = erdos_renyi_gnm(400, 1600, &mut rng);
+        let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+        let r =
+            align_multilevel_with_registry(&inst.a, &inst.b, &ml_cfg(2), fresh_registry()).unwrap();
+        // The mapping mirrors the final matching.
+        for (u, m) in r.mapping.iter().enumerate() {
+            assert_eq!(*m, r.matching.mate_of_a(u as VertexId));
+        }
+        let nc = inst.node_correctness(&r.mapping);
+        assert!(nc > 0.3, "node correctness {nc}");
+        assert!(r.scores.ncv_gs3 > 0.3, "NCV-GS3 {}", r.scores.ncv_gs3);
+    }
+
+    #[test]
+    fn repair_completes_bp_roundings() {
+        // A band where BP trivially leaves a vertex out: two A vertices,
+        // one B candidate each plus one contested candidate.
+        let l = BipartiteGraph::from_weighted_edges(2, 2, &[(0, 0, 1.0), (1, 0, 0.9), (1, 1, 0.2)]);
+        let bp = Matching::from_edge_ids(&l, vec![0]);
+        let (merged, repaired) = repair(&l, &bp);
+        assert_eq!(repaired, 1);
+        assert_eq!(merged.mate_of_a(0), Some(0));
+        assert_eq!(merged.mate_of_a(1), Some(1));
+        assert!(merged.check_valid(&l).is_ok());
+    }
+
+    #[test]
+    fn band_projects_through_merge_maps() {
+        // Coarsen a small pair and check the band contains the seeds.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_gnm(80, 240, &mut rng);
+        let ccfg = CoarsenConfig {
+            min_vertices: 8,
+            ..CoarsenConfig::default()
+        };
+        let h = CoarseningHierarchy::build(&g, 1, &ccfg);
+        assert_eq!(h.depth(), 1);
+        let level = h.level(0);
+        let cn = level.graph.num_vertices();
+        // Identity mapping at the coarse level.
+        let mapping: Vec<Option<VertexId>> = (0..cn as VertexId).map(Some).collect();
+        let band = build_band(&g, &g, level, level, &mapping, 8);
+        assert_eq!(band.projected_pairs, 80);
+        // Every vertex's own seed set (its siblings) must appear.
+        for u in 0..80u32 {
+            let c = level.merge_map[u as usize];
+            for &s in level.children_of(c) {
+                assert!(
+                    band.triples.iter().any(|&(a, b, _)| a == u && b == s),
+                    "seed ({u}, {s}) missing from band"
+                );
+            }
+        }
+        // And weights are valid BP inputs.
+        assert!(band.triples.iter().all(|&(_, _, w)| w > 0.0 && w <= 1.0));
+    }
+}

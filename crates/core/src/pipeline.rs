@@ -55,9 +55,20 @@ impl StageTimings {
     /// own; sessions record exclusively through telemetry spans.
     ///
     /// Spans only populate while telemetry is enabled
-    /// ([`cualign_telemetry::set_enabled`]), so a snapshot taken with
-    /// telemetry off derives all-zero timings.
+    /// ([`cualign_telemetry::set_enabled`]), while the `session.*.hits`
+    /// counters are always-on atomics. A snapshot with no `session.*`
+    /// spans (telemetry off, or no session ran) therefore derives
+    /// [`StageTimings::default`] outright — counters alone must not
+    /// produce a degenerate record of cache hits with all-zero timings.
     pub fn from_snapshot(snapshot: &cualign_telemetry::Snapshot) -> StageTimings {
+        if !snapshot
+            .spans
+            .children
+            .keys()
+            .any(|name| name.starts_with("session."))
+        {
+            return StageTimings::default();
+        }
         let span_s = |stage: &str| {
             snapshot
                 .spans
@@ -126,12 +137,18 @@ impl Aligner {
 
     /// Runs the full pipeline on graphs `a` and `b`.
     ///
-    /// Equivalent to opening an [`AlignmentSession`] and calling
-    /// [`AlignmentSession::align`] once. Errors on degenerate input
-    /// (empty graph, embedding dimension exceeding the smaller graph, a
+    /// With [`crate::AlignerConfig::multilevel`] unset this is
+    /// equivalent to opening an [`AlignmentSession`] and calling
+    /// [`AlignmentSession::align`] once; with it set, the run dispatches
+    /// through the multilevel coarsen–align–project–refine driver
+    /// ([`crate::align_multilevel`]). Errors on degenerate input (empty
+    /// graph, embedding dimension exceeding the smaller graph, a
     /// sparsification rule yielding zero candidates) or an invalid
     /// configuration.
     pub fn align(&self, a: &CsrGraph, b: &CsrGraph) -> Result<AlignmentResult, AlignError> {
+        if self.cfg.multilevel.is_some() {
+            return crate::multilevel::align_multilevel(a, b, &self.cfg);
+        }
         AlignmentSession::new(a, b, self.cfg.clone())?.align()
     }
 }
@@ -227,6 +244,19 @@ mod tests {
         assert_eq!(r1.bp.best_score, s1.bp.best_score);
         assert_eq!(s1.mapping, s2.mapping);
         assert_eq!(s2.timings.cache_hits, 5);
+    }
+
+    #[test]
+    fn from_snapshot_tolerates_an_empty_span_tree() {
+        // With telemetry off, the span tree stays empty while the
+        // always-on `session.*.hits` counters keep ticking. Deriving
+        // timings from such a snapshot must yield the default record,
+        // not a degenerate one claiming cache hits with zero seconds.
+        let r = cualign_telemetry::Registry::new();
+        r.counter("session.embed.hits").add(3);
+        let t = StageTimings::from_snapshot(&r.snapshot());
+        assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.total_s(), 0.0);
     }
 
     #[test]

@@ -167,6 +167,7 @@ fn bp_fingerprint(upstream: u64, c: &BpConfig) -> u64 {
     h.f64(c.gamma);
     h.usize(c.max_iters);
     h.bool(c.fused);
+    h.bool(c.warm_start);
     h.u64(match c.matcher {
         MatcherKind::Serial => 1,
         MatcherKind::Parallel => 2,

@@ -17,6 +17,12 @@
 //! `min_Q min_P ‖Y₁Q − PY₂‖²` — is solved in [`subspace`] by alternating
 //! Sinkhorn optimal transport (soft `P`) with orthogonal Procrustes
 //! (optimal `Q`), following Chen et al.'s cone-align procedure.
+//!
+//! **Place in the pipeline** (paper Fig. 2): the first stage proper —
+//! it consumes `cualign-graph` CSR graphs and feeds the aligned vectors
+//! to `cualign-sparsify`'s kNN stage. Under the multilevel wrapper this
+//! stage runs only on the coarsest graphs, with `dim` clamped to the
+//! contracted size.
 
 #![warn(missing_docs)]
 

@@ -33,6 +33,11 @@
 //! is a regular streaming workload and inherits ≈ the HBM2/DDR4 bandwidth
 //! ratio; matching is a latency-and-launch-bound queue algorithm and
 //! stays at a 2–3× advantage.
+//!
+//! **Place in the pipeline** (paper Fig. 2): a sidecar, not a stage —
+//! it wraps the stage-4 kernels (`cualign-bp`, `cualign-matching`) with
+//! cost accounting for the §5–§6 hardware study and is only reached
+//! from the bench binaries, never from an ordinary `Aligner` run.
 
 #![warn(missing_docs)]
 

@@ -2,7 +2,7 @@
 //! up to four nodes.
 //!
 //! The alignment literature the paper builds on (Kuchaiev et al.'s
-//! GRAAL/H-GRAAL line, reference [18]) scores vertex similarity by
+//! GRAAL/H-GRAAL line, reference \[18\]) scores vertex similarity by
 //! *graphlet degree vectors* (GDVs): how many times a vertex touches each
 //! automorphism orbit of each small induced subgraph. They are the
 //! classical "signature" alternative to embedding-based similarity, and a

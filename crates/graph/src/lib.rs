@@ -17,17 +17,26 @@
 //!   Watts–Strogatz, and duplication–divergence ("PPI-like") graphs.
 //! * [`Permutation`] — ground-truth vertex relabelings used by the paper's
 //!   self-alignment protocol (`B = P(A)`).
+//! * [`coarsen`] — heavy-edge-matching graph coarsening
+//!   ([`CoarseningHierarchy`]), the contraction half of the multilevel
+//!   coarsen–align–project–refine wrapper driven from the core crate.
 //! * [`noise`] — edge perturbation for robustness experiments.
 //! * [`binning`] — degree-based binning of vertices/work-items, the load
 //!   balancing strategy of the paper's §5 (shared with the GPU simulator).
 //! * [`graphlets`] — graphlet degree vectors (GRAAL-style structural
 //!   signatures) via exact ESU enumeration.
 //! * [`io`] — plain edge-list serialization.
+//!
+//! In the pipeline (paper Fig. 2) this crate is the substrate layer: it
+//! holds the inputs `A`/`B` (§3.1), the bipartite candidate graph `L`
+//! that sparsification (§4.1) produces and BP/matching (§4.2–4.3)
+//! consume, and the synthetic instances of the evaluation (§6).
 
 #![warn(missing_docs)]
 
 pub mod binning;
 pub mod bipartite;
+pub mod coarsen;
 pub mod csr;
 pub mod generators;
 pub mod graphlets;
@@ -37,6 +46,7 @@ pub mod permutation;
 pub mod stats;
 
 pub use bipartite::{BipartiteGraph, LEdge, Side};
+pub use coarsen::{CoarseLevel, CoarsenConfig, CoarseningHierarchy};
 pub use csr::CsrGraph;
 pub use permutation::Permutation;
 

@@ -11,7 +11,7 @@
 //! * [`svd`] — one-sided Jacobi SVD (the paper's Eq. 2 solver takes SVDs of
 //!   small `d × d` cross-covariance matrices),
 //! * [`procrustes`] — the orthogonal-Procrustes rotation solver,
-//! * [`sinkhorn`] — entropic optimal transport (the "Sinkhorn optimization"
+//! * [`sinkhorn`](mod@sinkhorn) — entropic optimal transport (the "Sinkhorn optimization"
 //!   of §4.1) for soft correspondences between embeddings,
 //! * [`vecops`] — embedding-vector kernels (dot, cosine similarity, row
 //!   normalization).
@@ -19,6 +19,11 @@
 //! Accuracy targets are those of the alignment pipeline: embeddings are
 //! `d ≤ 256` dimensional, so `d × d` factorizations dominated by Jacobi
 //! sweeps are both fast and accurate to near machine precision.
+//!
+//! **Place in the pipeline** (paper Fig. 2): a leaf utility crate under
+//! stage 1 — `cualign-embed` calls into it for every factorization and
+//! transport solve of §4.1 (Eq. 2), and nothing downstream of the
+//! embeddings touches it.
 
 #![warn(missing_docs)]
 

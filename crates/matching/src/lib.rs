@@ -25,6 +25,13 @@
 //! weights. The preference order is total, which makes the locally
 //! dominant matching *unique* — the serial and parallel algorithms are
 //! bit-for-bit interchangeable, a property the test suite pins down.
+//!
+//! **Place in the pipeline** (paper Fig. 2): the rounding half of stage
+//! 4 — each BP iteration's messages are rounded to a matching here, and
+//! the best one wins. The multilevel wrapper adds a second call site:
+//! its per-level *repair pass* re-runs [`locally_dominant_parallel`] on
+//! the residual band (edges of still-unmatched vertices) to complete
+//! BP's rounding.
 
 #![warn(missing_docs)]
 

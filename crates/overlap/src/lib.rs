@@ -23,6 +23,11 @@
 //!
 //! Construction is embarrassingly parallel over the edges of `L`
 //! (rayon `par_iter` per row), as the paper notes.
+//!
+//! **Place in the pipeline** (paper Fig. 2): stage 3, between
+//! sparsification and belief propagation — `S` is rebuilt whenever `L`
+//! changes (per density in a sweep, and per refinement band at each
+//! multilevel level) and is the structure all BP messages live on.
 
 #![warn(missing_docs)]
 

@@ -17,6 +17,14 @@
 //! `n_A · n_B` complete graph retained; [`density_to_k`] converts it to a
 //! per-vertex `k`, so `density = 1%` on a 10k-vertex instance keeps ~100
 //! candidates per vertex.
+//!
+//! **Place in the pipeline** (paper Fig. 2): stage 2, between the
+//! aligned embeddings of `cualign-embed` and the overlap matrix of
+//! `cualign-overlap` — its output `L` is the bipartite candidate graph
+//! every later stage works on. The multilevel wrapper builds its own
+//! candidate graphs at refinement levels (projection bands in
+//! `cualign::multilevel`), using this crate's kNN only at the coarsest
+//! level.
 
 #![warn(missing_docs)]
 

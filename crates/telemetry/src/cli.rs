@@ -105,20 +105,30 @@ impl TelemetrySink {
 
     /// Snapshots `registry` and writes it out: pretty tree to stderr for
     /// `summary`, one appended JSON line for `json:PATH`, nothing for
-    /// `off`.
+    /// `off`. A snapshot with nothing recorded
+    /// ([`crate::Snapshot::is_empty`]) emits nothing in any mode, so a
+    /// run whose telemetry never switched on does not leave `{}`-husk
+    /// lines in JSON sinks.
     pub fn emit(&self, registry: &Registry) -> std::io::Result<()> {
         match &self.mode {
             TelemetryMode::Off => Ok(()),
             TelemetryMode::Summary => {
-                eprint!("{}", registry.snapshot().render_tree());
+                let snapshot = registry.snapshot();
+                if !snapshot.is_empty() {
+                    eprint!("{}", snapshot.render_tree());
+                }
                 Ok(())
             }
             TelemetryMode::Json(path) => {
+                let snapshot = registry.snapshot();
+                if snapshot.is_empty() {
+                    return Ok(());
+                }
                 let mut file = std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
                     .open(path)?;
-                writeln!(file, "{}", registry.snapshot().to_json())
+                writeln!(file, "{}", snapshot.to_json())
             }
         }
     }
@@ -187,6 +197,32 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+        std::fs::remove_file(&path).unwrap();
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn empty_snapshot_emits_nothing() {
+        let dir =
+            std::env::temp_dir().join(format!("cualign-telemetry-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.json");
+        let _ = std::fs::remove_file(&path);
+
+        let sink = TelemetryMode::Json(path.clone()).activate();
+        let r = Registry::new();
+        assert!(r.snapshot().is_empty());
+        sink.emit(&r).unwrap();
+        assert!(
+            !path.exists(),
+            "an empty snapshot must not leave a husk record"
+        );
+
+        // The moment anything records, emission resumes.
+        r.counter("runs").inc();
+        assert!(!r.snapshot().is_empty());
+        sink.emit(&r).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1);
         std::fs::remove_file(&path).unwrap();
         crate::set_enabled(false);
     }

@@ -46,6 +46,12 @@
 //! The process-global registry is [`global`]; libraries record there so a
 //! binary can flip one flag and observe the whole stack. Isolated
 //! [`Registry`] instances exist for tests and embedders.
+//!
+//! **Place in the pipeline** (paper Fig. 2): a cross-cutting layer under
+//! every stage rather than a stage itself. Sessions record
+//! `session.<stage>` spans and cache counters, the multilevel driver
+//! records `multilevel.*` spans and per-level counters, and the CLI and
+//! bench binaries choose the sink (`--telemetry off|summary|json:PATH`).
 
 #![warn(missing_docs)]
 

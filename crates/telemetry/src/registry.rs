@@ -129,6 +129,18 @@ pub struct Snapshot {
     pub spans: SpanSnapshot,
 }
 
+impl Snapshot {
+    /// True when nothing was recorded at all: no counters, gauges, or
+    /// histograms, and an empty span tree. Sinks use this to skip
+    /// emitting husk records for runs where telemetry stayed off.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.children.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
