@@ -51,6 +51,8 @@ else
       --test session_cache --test telemetry_session \
       --test multilevel_pipeline &&
     cargo check -p cualign-telemetry --tests &&
+    cargo check -p cualign-linalg --tests &&
+    cargo check -p cualign-sparsify --tests &&
     cargo check -p cualign-bench --benches
   status=$?
 fi

@@ -1,0 +1,137 @@
+//! Blocked-kNN kernel benchmark: the tiled-GEMM similarity sweep
+//! ([`cualign_sparsify::knn_candidates`]) against the seed per-pair
+//! kernel ([`cualign_sparsify::knn_candidates_reference`]) on planted
+//! noisy embeddings, verifying bit-identical triples wherever the
+//! reference runs. The default sink is `BENCH_knn.json` — one JSONL
+//! record per `(n, d)` grid cell:
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin bench_knn
+//! ```
+//!
+//! Knobs: `CUALIGN_BENCH_KNN_NS` / `CUALIGN_BENCH_KNN_DS` (comma-separated
+//! grids, defaults `2000,10000,20000` / `64,128`), `CUALIGN_BENCH_KNN_K`
+//! (default `10`), `CUALIGN_KNN_NAIVE_MAX` (default `10000`): above this
+//! `n`, the quadratic per-pair reference is skipped and the record carries
+//! `reference_s: null` — the blocked timing is still measured and the
+//! equality check is covered by the smaller cells.
+
+use std::io::Write;
+use std::time::Instant;
+
+use cualign_bench::json::JsonRecord;
+use cualign_graph::VertexId;
+use cualign_linalg::DenseMatrix;
+use cualign_sparsify::{knn_candidates, knn_candidates_reference, KnnDirection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 42;
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) if !v.is_empty() => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("grid entries are integers"))
+            .collect(),
+        _ => default.to_vec(),
+    }
+}
+
+/// Planted noisy pair: row `i` of B is a perturbed copy of row `i` of A,
+/// so the workload has realistic near-duplicate structure.
+fn planted(n: usize, d: usize, seed: u64) -> (DenseMatrix, DenseMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ya = DenseMatrix::gaussian(n, d, &mut rng);
+    let mut yb = ya.clone();
+    for x in yb.data_mut() {
+        *x += 0.3 * (rng.gen::<f64>() - 0.5);
+    }
+    (ya, yb)
+}
+
+fn canon(mut v: Vec<(VertexId, VertexId, f64)>) -> Vec<(VertexId, VertexId, u64)> {
+    v.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+    v.into_iter().map(|(a, b, w)| (a, b, w.to_bits())).collect()
+}
+
+fn main() {
+    let ns = env_list("CUALIGN_BENCH_KNN_NS", &[2000, 10_000, 20_000]);
+    let ds = env_list("CUALIGN_BENCH_KNN_DS", &[64, 128]);
+    let k = cualign_bench::env_u64("CUALIGN_BENCH_KNN_K", 10) as usize;
+    let naive_max = cualign_bench::env_u64("CUALIGN_KNN_NAIVE_MAX", 10_000) as usize;
+    let out_path = std::env::var("CUALIGN_BENCH_KNN_OUT").unwrap_or("BENCH_knn.json".into());
+    let reg = cualign_telemetry::global();
+
+    println!("bench_knn: n grid {ns:?}, d grid {ds:?}, k = {k} (records -> {out_path})");
+    let mut lines = Vec::new();
+    for &n in &ns {
+        for &d in &ds {
+            let (ya, yb) = planted(n, d, SEED ^ ((n as u64) << 8) ^ d as u64);
+
+            let flops0 = reg.counter("linalg.gemm.flops").get();
+            let tiles0 = reg.counter("sparsify.knn.tiles").get();
+            let t = Instant::now();
+            let blocked = knn_candidates(&ya, &yb, k, KnnDirection::AtoB);
+            let blocked_s = t.elapsed().as_secs_f64();
+            let flops = reg.counter("linalg.gemm.flops").get() - flops0;
+            let tiles = reg.counter("sparsify.knn.tiles").get() - tiles0;
+
+            let reference_s = if n <= naive_max {
+                let t = Instant::now();
+                let reference = knn_candidates_reference(&ya, &yb, k, KnnDirection::AtoB);
+                let reference_s = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    canon(blocked.clone()),
+                    canon(reference),
+                    "blocked kNN diverged from reference at n = {n}, d = {d}"
+                );
+                Some(reference_s)
+            } else {
+                None
+            };
+
+            let gflops = flops as f64 / blocked_s / 1e9;
+            let mut rec = JsonRecord::new()
+                .str("bench", "knn")
+                .int("n", n)
+                .int("d", d)
+                .int("k", k)
+                .int("triples", blocked.len())
+                .num("blocked_s", blocked_s)
+                .int("gemm_flops", flops as usize)
+                .int("knn_tiles", tiles as usize)
+                .num("gflops", gflops);
+            match reference_s {
+                Some(r) => {
+                    rec = rec
+                        .num("reference_s", r)
+                        .num("speedup", r / blocked_s)
+                        .str("bit_identical", "yes");
+                    println!(
+                        "  n {n:>6}, d {d:>4}: blocked {blocked_s:>8.3}s ({gflops:>5.1} GF/s), \
+                         reference {r:>8.3}s, speedup {:>5.1}x, bit-identical",
+                        r / blocked_s
+                    );
+                }
+                None => {
+                    rec = rec.null("reference_s").null("speedup").str(
+                        "bit_identical",
+                        "unchecked (reference skipped above CUALIGN_KNN_NAIVE_MAX)",
+                    );
+                    println!(
+                        "  n {n:>6}, d {d:>4}: blocked {blocked_s:>8.3}s ({gflops:>5.1} GF/s), \
+                         reference skipped (n > {naive_max})"
+                    );
+                }
+            }
+            lines.push(rec.finish());
+        }
+    }
+
+    let mut f = std::fs::File::create(&out_path).expect("record sink is writable");
+    for line in &lines {
+        writeln!(f, "{line}").expect("record sink is writable");
+    }
+    println!("wrote {} records to {out_path}", lines.len());
+}

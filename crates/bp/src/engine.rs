@@ -160,6 +160,10 @@ pub struct BpEngine<'a> {
     f: Vec<f64>,
     sc: Vec<f64>,
     sp: Vec<f64>,
+    // Double buffers for the per-sweep `F`/`dᶜ` recomputation: the sweep
+    // writes into these and swaps, so no iteration allocates.
+    f_next: Vec<f64>,
+    dc_next: Vec<f64>,
 }
 
 impl<'a> BpEngine<'a> {
@@ -204,6 +208,8 @@ impl<'a> BpEngine<'a> {
             f: vec![0.0; nnz],
             sc: vec![0.0; nnz],
             sp: vec![0.0; nnz],
+            f_next: vec![0.0; nnz],
+            dc_next: vec![0.0; m],
         }
     }
 
@@ -250,48 +256,45 @@ impl<'a> BpEngine<'a> {
         let offsets = self.s.row_offsets().to_vec();
         let perm = self.s.transpose_perm();
 
+        // Both branches write into the persistent double buffers and swap
+        // them in, so the sweep allocates nothing.
+        let mut f_out = std::mem::take(&mut self.f_next);
+        let mut dc_out = std::mem::take(&mut self.dc_next);
         if self.cfg.fused {
             // Fused kernel (Listing 1): one pass over each row computes the
             // clamped F values and their row sum together.
             let sp = &self.sp;
             let w0 = &self.w0;
-            let f_out: Vec<f64> = vec![0.0; self.f.len()];
-            let mut f_out = f_out;
-            let dc_new: Vec<f64> = {
-                let f_slices = split_rows(&mut f_out, &offsets);
-                f_slices
-                    .into_par_iter()
-                    .enumerate()
-                    .map(|(row, (start, frow))| {
-                        let mut sum = 0.0;
-                        for (j, fv) in frow.iter_mut().enumerate() {
-                            let val = (beta + sp[perm[start + j] as usize]).clamp(0.0, beta);
-                            *fv = val;
-                            sum += val;
-                        }
-                        alpha * w0[row] + sum
-                    })
-                    .collect()
-            };
-            self.f = f_out;
-            self.dc = dc_new;
+            let f_slices = split_rows(&mut f_out, &offsets);
+            f_slices
+                .into_par_iter()
+                .zip(dc_out.par_iter_mut())
+                .enumerate()
+                .for_each(|(row, ((start, frow), dcv))| {
+                    let mut sum = 0.0;
+                    for (j, fv) in frow.iter_mut().enumerate() {
+                        let val = (beta + sp[perm[start + j] as usize]).clamp(0.0, beta);
+                        *fv = val;
+                        sum += val;
+                    }
+                    *dcv = alpha * w0[row] + sum;
+                });
         } else {
             // Unfused: pass 1 writes F, pass 2 row-sums it.
             let sp = &self.sp;
-            let f: Vec<f64> = (0..self.f.len())
-                .into_par_iter()
-                .map(|j| (beta + sp[perm[j] as usize]).clamp(0.0, beta))
-                .collect();
-            let dc: Vec<f64> = (0..self.dc.len())
-                .into_par_iter()
-                .map(|row| {
-                    let sum: f64 = f[offsets[row]..offsets[row + 1]].iter().sum();
-                    alpha * self.w0[row] + sum
-                })
-                .collect();
-            self.f = f;
-            self.dc = dc;
+            let w0 = &self.w0;
+            f_out
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(j, fv)| *fv = (beta + sp[perm[j] as usize]).clamp(0.0, beta));
+            let f = &f_out;
+            dc_out.par_iter_mut().enumerate().for_each(|(row, dcv)| {
+                let sum: f64 = f[offsets[row]..offsets[row + 1]].iter().sum();
+                *dcv = alpha * w0[row] + sum;
+            });
         }
+        self.f_next = std::mem::replace(&mut self.f, f_out);
+        self.dc_next = std::mem::replace(&mut self.dc, dc_out);
 
         // y/z exclusivity messages.
         let mut om = vec![0.0; self.yc.len()];
@@ -408,7 +411,7 @@ impl<'a> BpEngine<'a> {
         let _span = cualign_telemetry::global().span("bp.run");
         let mut history = Vec::with_capacity(self.cfg.max_iters + 1);
         let mut best: Option<(Matching, f64, f64, usize, usize)> = {
-            self.l.set_weights(&self.w0.clone());
+            self.l.set_weights(&self.w0);
             let m0 = self.run_matcher();
             let (score, weight, overlaps) =
                 evaluate_matching(&self.w0, self.s, &m0, self.cfg.alpha, self.cfg.beta);

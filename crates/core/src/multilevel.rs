@@ -22,7 +22,12 @@
 //!    ([`cualign_bp::BpConfig::warm_start`]), and a half-approximate
 //!    (locally dominant) matching repair pass completes the rounding
 //!    for vertices BP left unmatched. Steps 3–4 repeat until the
-//!    original graphs are reached.
+//!    original graphs are reached. Band weights blend projection votes
+//!    with similarity under the coarse session's aligned embeddings
+//!    (rows inherited down the merge maps), and vertices the vote
+//!    projection leaves candidate-less fall back to a blocked-kNN query
+//!    against those embeddings — both go through the shared tiled GEMM
+//!    block-similarity kernel ([`cualign_linalg::gemm`]).
 //!
 //! Entry points: [`AlignerConfig::builder`]`.multilevel(levels)` routes
 //! [`crate::Aligner::align`] through [`align_multilevel`]; the CLI and
@@ -32,7 +37,7 @@
 //! `multilevel.coarse_align` span wrapping the coarsest-level session,
 //! per-level `multilevel.level<k>.{band,overlap,bp,repair}` spans under
 //! a `multilevel.level<k>.refine` parent, and per-level
-//! `multilevel.level<k>.{projected_pairs,band_edges,bp_matched,repaired_pairs}`
+//! `multilevel.level<k>.{projected_pairs,band_edges,band_fallback,bp_matched,repaired_pairs}`
 //! counters (always-on atomics, like all registry counters).
 //!
 //! Timing attribution in the returned [`crate::StageTimings`]: the coarse
@@ -71,8 +76,10 @@ use crate::session::AlignmentSession;
 use cualign_bp::BpEngine;
 use cualign_graph::coarsen::{CoarseLevel, CoarsenConfig, CoarseningHierarchy};
 use cualign_graph::{BipartiteGraph, CsrGraph, VertexId};
+use cualign_linalg::{vecops, DenseMatrix};
 use cualign_matching::{locally_dominant_parallel, Matching};
 use cualign_overlap::OverlapMatrix;
+use cualign_sparsify::{knn_candidates, KnnDirection};
 use cualign_telemetry::Registry;
 use rayon::prelude::*;
 
@@ -168,10 +175,17 @@ pub fn align_multilevel_with_registry(
     if coarse_cfg.subspace.anchors >= min_n {
         coarse_cfg.subspace.anchors = 0; // 0 = use every vertex
     }
-    let coarse_res = {
+    let (coarse_res, coarse_emb) = {
         let _span = registry.span("multilevel.coarse_align");
-        AlignmentSession::with_registry(ca, cb, coarse_cfg, registry)?.align()?
+        let mut sess = AlignmentSession::with_registry(ca, cb, coarse_cfg, registry)?;
+        let res = sess.align()?;
+        // The aligned subspace embeddings are already cached by the run
+        // above; clone them so the refinement levels can rescore band
+        // candidates by inherited embedding similarity.
+        let sub = sess.subspace()?;
+        (res, (sub.ya.clone(), sub.yb.clone()))
     };
+    let (mut emb_a, mut emb_b) = coarse_emb;
 
     let mut mapping = coarse_res.mapping;
     let mut timings = coarse_res.timings;
@@ -186,12 +200,28 @@ pub fn align_multilevel_with_registry(
         let (ga, gb) = (ga_at(j), gb_at(j));
         let (level_a, level_b) = (ha.level(j), hb.level(j));
 
+        // Fine vertices inherit their coarse parent's aligned embedding
+        // row, so every level can rescore candidates by similarity.
+        emb_a = inherit_rows(&emb_a, &level_a.merge_map, ga.num_vertices());
+        emb_b = inherit_rows(&emb_b, &level_b.merge_map, gb.num_vertices());
+
         let (band, band_s) = registry.timed(&format!("multilevel.level{j}.band"), || {
-            build_band(ga, gb, level_a, level_b, &mapping, ml.band_k)
+            build_band(
+                ga,
+                gb,
+                level_a,
+                level_b,
+                &mapping,
+                ml.band_k,
+                Some((&emb_a, &emb_b)),
+            )
         });
         registry
             .counter(&format!("multilevel.level{j}.projected_pairs"))
             .add(band.projected_pairs as u64);
+        registry
+            .counter(&format!("multilevel.level{j}.band_fallback"))
+            .add(band.fallback_pairs as u64);
         if band.triples.is_empty() {
             return Err(AlignError::EmptySparsification);
         }
@@ -255,6 +285,24 @@ struct Band {
     /// Number of A-side vertices whose coarse parent was matched (the
     /// seeds the band grew around).
     projected_pairs: usize,
+    /// Candidate edges added by the embedding-kNN fallback for vertices
+    /// the vote projection left without any candidates.
+    fallback_pairs: usize,
+}
+
+/// Copies row `merge_map[u]` of the coarse matrix into row `u` of an
+/// `n_fine`-row matrix: fine vertices inherit their parent's embedding.
+fn inherit_rows(coarse: &DenseMatrix, merge_map: &[VertexId], n_fine: usize) -> DenseMatrix {
+    debug_assert_eq!(
+        merge_map.len(),
+        n_fine,
+        "merge map must cover the fine graph"
+    );
+    let mut out = DenseMatrix::zeros(n_fine, coarse.cols());
+    for (u, &parent) in merge_map.iter().enumerate() {
+        out.row_mut(u).copy_from_slice(coarse.row(parent as usize));
+    }
+    out
 }
 
 /// Builds the refinement band at one level: each fine A-vertex's
@@ -263,9 +311,19 @@ struct Band {
 /// votes for the B-side neighbors of `u'`'s seeds, since the true mate
 /// of `u` must be adjacent to the true mate of `u'`. Seeds always
 /// survive (they *are* the projection); the top `band_k` non-seed
-/// candidates by vote fill the rest of the budget. Every surviving
-/// candidate is weighted by normalized vote so BP's warm start sees the
-/// projection confidence.
+/// candidates by vote fill the rest of the budget.
+///
+/// Weights: with `embeddings` (the inherited, unit-norm aligned coarse
+/// subspace rows), each surviving candidate's normalized vote is blended
+/// 50/50 with the norm-free embedding similarity
+/// ([`vecops::dot_unit`] mapped to `(1 + sim)/2`), so BP's warm start
+/// sees both the projection confidence and the stage-1 similarity
+/// evidence; without embeddings the weight is the normalized vote alone.
+/// Vertices whose vote set comes up empty (unmatched coarse parent in a
+/// sparse neighborhood) would otherwise be unmatchable at every finer
+/// level — with embeddings they fall back to a blocked kNN query
+/// ([`cualign_sparsify::knn_candidates`]) against the B-side rows.
+#[allow(clippy::too_many_arguments)]
 fn build_band(
     ga: &CsrGraph,
     gb: &CsrGraph,
@@ -273,6 +331,7 @@ fn build_band(
     level_b: &CoarseLevel,
     coarse_mapping: &[Option<VertexId>],
     band_k: usize,
+    embeddings: Option<(&DenseMatrix, &DenseMatrix)>,
 ) -> Band {
     let na = ga.num_vertices();
     let seeds_of = |u: VertexId| -> &[VertexId] {
@@ -321,7 +380,17 @@ fn build_band(
             });
             cands
                 .into_iter()
-                .map(|(v, vote)| (u, v, (0.5 + vote) / (0.5 + max_vote)))
+                .map(|(v, vote)| {
+                    let wv = (0.5 + vote) / (0.5 + max_vote);
+                    let w = match embeddings {
+                        Some((ea, eb)) => {
+                            let sim = vecops::dot_unit(ea.row(u as usize), eb.row(v as usize));
+                            0.5 * (wv + (1.0 + sim) / 2.0)
+                        }
+                        None => wv,
+                    };
+                    (u, v, w)
+                })
                 .collect()
         })
         .collect();
@@ -329,9 +398,32 @@ fn build_band(
     let projected_pairs = (0..na as VertexId)
         .filter(|&u| !seeds_of(u).is_empty())
         .count();
+    let orphans: Vec<VertexId> = per_vertex
+        .iter()
+        .enumerate()
+        .filter(|(_, cands)| cands.is_empty())
+        .map(|(u, _)| u as VertexId)
+        .collect();
+    let mut triples: Vec<(VertexId, VertexId, f64)> = per_vertex.into_iter().flatten().collect();
+    let mut fallback_pairs = 0usize;
+    if let Some((ea, eb)) = embeddings {
+        if !orphans.is_empty() && gb.num_vertices() > 0 {
+            let mut queries = DenseMatrix::zeros(orphans.len(), ea.cols());
+            for (i, &u) in orphans.iter().enumerate() {
+                queries.row_mut(i).copy_from_slice(ea.row(u as usize));
+            }
+            let knn = knn_candidates(&queries, eb, band_k.max(1), KnnDirection::AtoB);
+            fallback_pairs = knn.len();
+            triples.extend(
+                knn.into_iter()
+                    .map(|(qi, v, w)| (orphans[qi as usize], v, w)),
+            );
+        }
+    }
     Band {
-        triples: per_vertex.into_iter().flatten().collect(),
+        triples,
         projected_pairs,
+        fallback_pairs,
     }
 }
 
@@ -424,7 +516,7 @@ mod tests {
         let cn = level.graph.num_vertices();
         // Identity mapping at the coarse level.
         let mapping: Vec<Option<VertexId>> = (0..cn as VertexId).map(Some).collect();
-        let band = build_band(&g, &g, level, level, &mapping, 8);
+        let band = build_band(&g, &g, level, level, &mapping, 8, None);
         assert_eq!(band.projected_pairs, 80);
         // Every vertex's own seed set (its siblings) must appear.
         for u in 0..80u32 {

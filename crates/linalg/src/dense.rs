@@ -1,11 +1,11 @@
 //! Row-major dense matrices.
 //!
 //! Row-major layout keeps each embedding vector (one row per graph vertex)
-//! contiguous, which is what the cosine-similarity kNN kernel streams over.
-//! Multiplication parallelizes over output rows with rayon.
+//! contiguous, which is what the similarity kNN kernel streams over.
+//! Products run on the tiled kernel in [`crate::gemm`] (packed panels,
+//! register tiles, rayon over output row blocks).
 
 use rand::Rng;
-use rayon::prelude::*;
 
 /// A dense `rows × cols` matrix of `f64`, row-major.
 #[derive(Clone, Debug, PartialEq)]
@@ -117,59 +117,21 @@ impl DenseMatrix {
         t
     }
 
-    /// Matrix product `self · other`, parallel over output rows.
+    /// Matrix product `self · other` on the tiled kernel
+    /// ([`crate::gemm::matmul`]): packed column panels, 4×4 register
+    /// tiles, rayon over output row blocks.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0; m * n];
-        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        });
-        DenseMatrix {
-            rows: m,
-            cols: n,
-            data: out,
-        }
+        crate::gemm::matmul(self, other)
     }
 
-    /// `selfᵀ · other` without materializing the transpose (`k × m` output
-    /// for `m × k` self and `m × n` other → `k × n`).
+    /// `selfᵀ · other` without materializing the transpose (`k × n` output
+    /// for `m × k` self and `m × n` other), register-blocked over input
+    /// rows ([`crate::gemm::matmul_tn`]).
     pub fn transpose_matmul(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.rows, other.rows, "row mismatch in AᵀB");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0; k * n];
-        // Serial accumulation over m, vectorizable inner loops. k and n are
-        // embedding dimensions (small), so this is cheap.
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let brow = &other.data[i * n..(i + 1) * n];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        DenseMatrix {
-            rows: k,
-            cols: n,
-            data: out,
-        }
+        crate::gemm::matmul_tn(self, other)
     }
 
     /// Element-wise scale in place.

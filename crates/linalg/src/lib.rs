@@ -4,8 +4,12 @@
 //! subspace-alignment stages. No external BLAS/LAPACK: everything the
 //! pipeline needs is implemented here —
 //!
-//! * [`DenseMatrix`] — row-major dense matrices with rayon-parallel
-//!   multiplication,
+//! * [`DenseMatrix`] — row-major dense matrices whose products run on the
+//!   tiled kernel below,
+//! * [`gemm`] — the register-blocked, cache-tiled GEMM micro-kernel shared
+//!   by every dense multiply and by the kNN block-similarity sweep
+//!   (packed [`NR`](gemm::NR)-lane panels, 4×4 accumulator tiles, rayon
+//!   over row blocks; bit-identical to the naive loops),
 //! * [`qr`] — Householder QR and orthonormalization (used by the randomized
 //!   range finder and the FastRP-style embedding),
 //! * [`svd`] — one-sided Jacobi SVD (the paper's Eq. 2 solver takes SVDs of
@@ -29,6 +33,7 @@
 
 pub mod dense;
 pub mod eig;
+pub mod gemm;
 pub mod procrustes;
 pub mod qr;
 pub mod sinkhorn;

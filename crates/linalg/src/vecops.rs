@@ -26,6 +26,16 @@ pub fn norm(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
+/// Cosine similarity of *unit-norm* vectors: the dot product clamped to
+/// `[-1, 1]`, skipping the two norm computations (and the division) that
+/// [`cosine_similarity`] spends on every call. The kNN sweep and the
+/// multilevel band refinement use this after [`normalize_rows`]; callers
+/// with non-normalized inputs must keep using [`cosine_similarity`].
+#[inline]
+pub fn dot_unit(a: &[f64], b: &[f64]) -> f64 {
+    dot(a, b).clamp(-1.0, 1.0)
+}
+
 /// Cosine similarity in `[-1, 1]`; 0 if either vector is zero.
 #[inline]
 pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
@@ -88,6 +98,23 @@ mod tests {
         let b = [1.1, 0.4, -0.2];
         let scaled: Vec<f64> = a.iter().map(|x| x * 17.0).collect();
         assert!((cosine_similarity(&a, &b) - cosine_similarity(&scaled, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_unit_equals_cosine_on_unit_rows() {
+        // Exactly-unit vectors: equivalence is bitwise.
+        let a = [1.0, 0.0, 0.0];
+        let b = [0.0, 1.0, 0.0];
+        assert_eq!(dot_unit(&a, &a), cosine_similarity(&a, &a));
+        assert_eq!(dot_unit(&a, &b), cosine_similarity(&a, &b));
+        // Normalized random rows: norms are 1 ± ulps, so the two paths
+        // agree to floating-point roundoff.
+        let mut m = DenseMatrix::from_vec(2, 3, vec![0.3, -0.7, 2.0, 1.1, 0.4, -0.2]);
+        normalize_rows(&mut m);
+        let fast = dot_unit(m.row(0), m.row(1));
+        let general = cosine_similarity(m.row(0), m.row(1));
+        assert!((fast - general).abs() < 1e-14, "{fast} vs {general}");
+        assert!((-1.0..=1.0).contains(&fast));
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Property tests pinning the tiled GEMM kernel to the seed kernels,
+//! *bit for bit*: the tiles block over rows and lanes but never split
+//! the reduction dimension, so every output element's floating-point
+//! chain is the naive one.
+
+use cualign_linalg::gemm::{dot_block, matmul, matmul_naive, matmul_tn, pack_rows};
+use cualign_linalg::{vecops, DenseMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gaussian(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::gaussian(rows, cols, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tiled == naive on random rectangular shapes, including
+    /// non-multiple-of-tile edges and the degenerate k ∈ {0, 1} cases.
+    #[test]
+    fn tiled_matmul_is_bitwise_naive(
+        m in 0usize..34,
+        k in 0usize..20,
+        n in 0usize..34,
+        seed in 0u64..10_000,
+    ) {
+        let a = gaussian(m, k, seed);
+        let b = gaussian(k, n, seed.wrapping_add(1));
+        let tiled = matmul(&a, &b);
+        let naive = matmul_naive(&a, &b);
+        prop_assert_eq!((tiled.rows(), tiled.cols()), (m, n));
+        prop_assert_eq!(tiled.data(), naive.data());
+    }
+
+    /// The in-place AᵀB kernel matches transposing then running the
+    /// tiled product — the accumulation order is the same i-order chain.
+    #[test]
+    fn matmul_tn_is_bitwise_transposed(
+        m in 1usize..40,
+        k in 1usize..14,
+        n in 1usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let a = gaussian(m, k, seed);
+        let b = gaussian(m, n, seed.wrapping_add(1));
+        prop_assert_eq!(
+            matmul_tn(&a, &b).data(),
+            matmul(&a.transpose(), &b).data()
+        );
+    }
+
+    /// Similarity tiles reproduce `vecops::dot` exactly for every
+    /// (query, lane) pair, at arbitrary panel-aligned tile origins.
+    #[test]
+    fn dot_block_is_bitwise_dot(
+        nq in 1usize..18,
+        nt in 1usize..30,
+        d in 0usize..18,
+        t0q in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let q = gaussian(nq, d, seed);
+        let t = gaussian(nt, d, seed.wrapping_add(1));
+        let packed = pack_rows(&t);
+        let t0 = (4 * t0q).min(nt.saturating_sub(1) / 4 * 4);
+        let tw = nt - t0;
+        let mut tile = vec![0.0; nq * tw];
+        dot_block(&q, 0, nq, &packed, t0, nt, &mut tile);
+        for qi in 0..nq {
+            for ti in 0..tw {
+                prop_assert_eq!(
+                    tile[qi * tw + ti],
+                    vecops::dot(q.row(qi), t.row(t0 + ti)),
+                    "pair ({}, {})", qi, t0 + ti
+                );
+            }
+        }
+    }
+}

@@ -31,7 +31,7 @@
 pub mod knn;
 pub mod variants;
 
-pub use knn::{knn_candidates, KnnDirection};
+pub use knn::{knn_candidates, knn_candidates_reference, KnnDirection};
 pub use variants::{build_with, Sparsifier};
 
 use cualign_graph::BipartiteGraph;

@@ -11,10 +11,9 @@
 //!   adapts the candidate count to the similarity landscape instead of
 //!   fixing `k`.
 
-use crate::knn::{knn_candidates, KnnDirection};
+use crate::knn::{knn_candidates, sweep_similarity, KnnDirection};
 use cualign_graph::{BipartiteGraph, VertexId};
-use cualign_linalg::{vecops, DenseMatrix};
-use rayon::prelude::*;
+use cualign_linalg::DenseMatrix;
 use std::collections::HashSet;
 
 /// Which sparsification rule builds `L` from the aligned embeddings.
@@ -66,25 +65,29 @@ pub fn build_with(ya: &DenseMatrix, yb: &DenseMatrix, rule: &Sparsifier) -> Bipa
         } => {
             assert!(cap_per_vertex > 0, "cap must be positive");
             let nb = yb.rows();
-            let triples: Vec<(VertexId, VertexId, f64)> = (0..ya.rows())
-                .into_par_iter()
-                .flat_map_iter(|a| {
-                    let arow = ya.row(a);
-                    let mut kept: Vec<(VertexId, VertexId, f64)> = (0..nb)
-                        .filter_map(|b| {
-                            let w = (1.0 + vecops::cosine_similarity(arow, yb.row(b))) / 2.0;
-                            (w >= min_weight).then_some((
-                                a as VertexId,
-                                b as VertexId,
-                                w.max(f64::MIN_POSITIVE),
-                            ))
-                        })
-                        .collect();
+            // The shared blocked sweep visits targets in ascending order,
+            // matching the seed per-pair scan, so the stable cap sort
+            // below keeps the identical candidates.
+            let per_vertex: Vec<Vec<(VertexId, f64)>> = sweep_similarity(
+                ya,
+                yb,
+                |_| Vec::new(),
+                |kept: &mut Vec<(VertexId, f64)>, b, sim| {
+                    let w = (1.0 + sim) / 2.0;
+                    if w >= min_weight {
+                        kept.push((b as VertexId, w.max(f64::MIN_POSITIVE)));
+                    }
+                },
+            );
+            let triples: Vec<(VertexId, VertexId, f64)> = per_vertex
+                .into_iter()
+                .enumerate()
+                .flat_map(|(a, mut kept)| {
                     if kept.len() > cap_per_vertex {
-                        kept.sort_by(|x, y| y.2.total_cmp(&x.2).then(x.1.cmp(&y.1)));
+                        kept.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
                         kept.truncate(cap_per_vertex);
                     }
-                    kept
+                    kept.into_iter().map(move |(b, w)| (a as VertexId, b, w))
                 })
                 .collect();
             let tele = crate::knn::knn_tele();

@@ -1,0 +1,96 @@
+//! Property tests pinning the blocked kNN sweep to the seed brute-force
+//! kernel: identical `(a, b, weight)` triples — bit-identical weights —
+//! on random embeddings, shapes straddling the tile edges, duplicated
+//! rows (ties), and both sweep directions.
+
+use cualign_graph::VertexId;
+use cualign_linalg::DenseMatrix;
+use cualign_sparsify::{knn_candidates, knn_candidates_reference, KnnDirection};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical form: per-(a, b) sorted triples with bit-exact weights.
+/// The reference kernel's within-query order after partial selection is
+/// arbitrary, so both sides are sorted before comparison.
+fn canon(mut v: Vec<(VertexId, VertexId, f64)>) -> Vec<(VertexId, VertexId, u64)> {
+    v.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+    v.into_iter().map(|(a, b, w)| (a, b, w.to_bits())).collect()
+}
+
+fn embeddings(
+    na: usize,
+    nb: usize,
+    d: usize,
+    dup_every: usize,
+    seed: u64,
+) -> (DenseMatrix, DenseMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ya = DenseMatrix::gaussian(na, d, &mut rng);
+    let mut yb = DenseMatrix::gaussian(nb, d, &mut rng);
+    // Plant duplicate target rows so similarity ties are exercised and
+    // must break toward the smaller id identically in both kernels.
+    if dup_every > 0 {
+        for b in (dup_every..nb).step_by(dup_every) {
+            let src: Vec<f64> = yb.row(b - dup_every).to_vec();
+            yb.row_mut(b).copy_from_slice(&src);
+        }
+    }
+    (ya, yb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked == reference across shapes (including query/target counts
+    /// off the 32/256 block edges via small sizes), k values past the
+    /// target count, duplicate-row ties, and both directions.
+    #[test]
+    fn blocked_knn_is_bitwise_reference(
+        na in 1usize..70,
+        nb in 1usize..70,
+        d in 1usize..24,
+        k in 1usize..12,
+        dup_every in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let (ya, yb) = embeddings(na, nb, d, dup_every, seed);
+        for direction in [KnnDirection::AtoB, KnnDirection::BtoA] {
+            let blocked = knn_candidates(&ya, &yb, k, direction);
+            let reference = knn_candidates_reference(&ya, &yb, k, direction);
+            prop_assert_eq!(blocked.len(), reference.len());
+            prop_assert_eq!(canon(blocked), canon(reference));
+        }
+    }
+}
+
+/// A deterministic straddle of the 32-query / 256-target tile edges: the
+/// sizes force full tiles, ragged edge tiles, and a remainder query
+/// group at once. (Plain test so the heavyweight case runs exactly once.)
+#[test]
+fn blocked_knn_matches_reference_across_tile_edges() {
+    for (na, nb) in [(33, 257), (64, 256), (31, 300), (97, 513)] {
+        let (ya, yb) = embeddings(na, nb, 17, 3, 42);
+        let blocked = knn_candidates(&ya, &yb, 9, KnnDirection::AtoB);
+        let reference = knn_candidates_reference(&ya, &yb, 9, KnnDirection::AtoB);
+        assert_eq!(canon(blocked), canon(reference), "shape ({na}, {nb})");
+    }
+}
+
+/// All-identical target rows: every similarity ties, so the kept set is
+/// exactly the `k` smallest ids — in both kernels.
+#[test]
+fn total_tie_keeps_smallest_ids() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let row: Vec<f64> = (0..8).map(|_| rng.gen::<f64>() - 0.5).collect();
+    let ya = DenseMatrix::gaussian(3, 8, &mut rng);
+    let yb = DenseMatrix::from_fn(40, 8, |_, j| row[j]);
+    let blocked = knn_candidates(&ya, &yb, 5, KnnDirection::AtoB);
+    let reference = knn_candidates_reference(&ya, &yb, 5, KnnDirection::AtoB);
+    assert_eq!(canon(blocked.clone()), canon(reference));
+    for q in 0..3u32 {
+        let mut ids: Vec<VertexId> = blocked.iter().filter(|t| t.0 == q).map(|t| t.1).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "query {q}");
+    }
+}
