@@ -53,6 +53,7 @@ else
     cargo check -p cualign-telemetry --tests &&
     cargo check -p cualign-linalg --tests &&
     cargo check -p cualign-sparsify --tests &&
+    cargo check -p cualign-embed --tests &&
     cargo check -p cualign-bench --benches
   status=$?
 fi

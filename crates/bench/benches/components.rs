@@ -39,6 +39,7 @@ fn bench_components(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 align_subspaces(&y1, &y2, &p.a, &p.b, &cfg)
+                    .expect("valid bench inputs")
                     .round_costs
                     .len(),
             )

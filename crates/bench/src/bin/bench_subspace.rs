@@ -1,0 +1,187 @@
+//! Subspace-alignment hot-path benchmark: the GEMM/blocked-Sinkhorn
+//! alternation ([`cualign_embed::align_subspaces`]) against the pinned
+//! all-reference path ([`cualign_embed::align_subspaces_reference`]) on
+//! planted rotated pairs, sweeping anchors × d. Before timing, each cell
+//! asserts kernel-level agreement on the live operands: the GEMM cost
+//! matrix against [`cualign_embed::pairwise_cost_reference`] and one
+//! blocked Sinkhorn plan against the seed sweep (the end-to-end glue is
+//! pinned by `embed/tests/prop_subspace.rs`). The default sink is
+//! `BENCH_subspace.json` — one JSONL record per `(anchors, d)` cell:
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin bench_subspace
+//! ```
+//!
+//! Knobs: `CUALIGN_BENCH_SUBSPACE_ANCHORS` / `CUALIGN_BENCH_SUBSPACE_DS`
+//! (comma-separated grids, defaults `256,768` / `64,128`),
+//! `CUALIGN_BENCH_SUBSPACE_ITERS` (alternation rounds, default `8`),
+//! `CUALIGN_SUBSPACE_REFERENCE_MAX` (default `768`): above this anchor
+//! count the quadratic reference alignment is skipped and the record
+//! carries `reference_s: null`. `CUALIGN_BENCH_SUBSPACE_OUT` overrides
+//! the sink path.
+
+use std::io::Write;
+use std::time::Instant;
+
+use cualign_bench::json::JsonRecord;
+use cualign_embed::{
+    align_subspaces, align_subspaces_reference, pairwise_cost, pairwise_cost_reference,
+    SubspaceAlignConfig,
+};
+use cualign_graph::generators::barabasi_albert;
+use cualign_graph::{CsrGraph, Permutation};
+use cualign_linalg::{sinkhorn, sinkhorn_reference, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 42;
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) if !v.is_empty() => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("grid entries are integers"))
+            .collect(),
+        _ => default.to_vec(),
+    }
+}
+
+/// Planted instance: `B = P(A)`, `Y₂` the rows of `Y₁ Q₀` permuted by
+/// `P` plus 0.3 σ Gaussian noise — the workload where the alternation
+/// has a true rotation to find but the transport plans stay diffuse
+/// enough that its Sinkhorn solves see realistic annealing trajectories.
+struct Instance {
+    ga: CsrGraph,
+    gb: CsrGraph,
+    y1: DenseMatrix,
+    y2: DenseMatrix,
+}
+
+fn planted(n: usize, d: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ga = barabasi_albert(n, 4, &mut rng);
+    let p = Permutation::random(n, &mut rng);
+    let gb = p.apply_to_graph(&ga);
+    let y1 = DenseMatrix::gaussian(n, d, &mut rng);
+    let q0 = cualign_linalg::qr::orthonormalize(&DenseMatrix::gaussian(d, d, &mut rng));
+    let rotated = y1.matmul(&q0);
+    let noise = DenseMatrix::gaussian(n, d, &mut rng);
+    let mut y2 = DenseMatrix::zeros(n, d);
+    for i in 0..n {
+        let dst = y2.row_mut(p.apply(i as u32) as usize);
+        dst.copy_from_slice(rotated.row(i));
+        for (v, &e) in dst.iter_mut().zip(noise.row(i)) {
+            *v += 0.3 * e;
+        }
+    }
+    Instance { ga, gb, y1, y2 }
+}
+
+fn max_abs_diff(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+/// Kernel-level agreement on the cell's live operands: cost matrices to
+/// 1e-9 absolute, one Sinkhorn plan (final ε of the anneal) to 1e-9.
+fn assert_kernels_agree(inst: &Instance, cfg: &SubspaceAlignConfig, anchors: usize, d: usize) {
+    let cost = pairwise_cost(&inst.y1, &inst.y2);
+    let cost_ref = pairwise_cost_reference(&inst.y1, &inst.y2);
+    let dc = max_abs_diff(&cost, &cost_ref);
+    assert!(
+        dc < 1e-9,
+        "cost kernels diverged by {dc:e} at anchors = {anchors}, d = {d}"
+    );
+    let fast = sinkhorn(&cost, &cfg.sinkhorn);
+    let oracle = sinkhorn_reference(&cost_ref, &cfg.sinkhorn);
+    let dp = max_abs_diff(&fast.plan, &oracle.plan);
+    assert!(
+        dp < 1e-9,
+        "Sinkhorn plans diverged by {dp:e} at anchors = {anchors}, d = {d}"
+    );
+}
+
+fn main() {
+    let anchor_grid = env_list("CUALIGN_BENCH_SUBSPACE_ANCHORS", &[256, 768]);
+    let ds = env_list("CUALIGN_BENCH_SUBSPACE_DS", &[64, 128]);
+    let iters = cualign_bench::env_u64("CUALIGN_BENCH_SUBSPACE_ITERS", 8) as usize;
+    let reference_max = cualign_bench::env_u64("CUALIGN_SUBSPACE_REFERENCE_MAX", 768) as usize;
+    let out_path =
+        std::env::var("CUALIGN_BENCH_SUBSPACE_OUT").unwrap_or("BENCH_subspace.json".into());
+
+    println!(
+        "bench_subspace: anchors grid {anchor_grid:?}, d grid {ds:?}, {iters} rounds \
+         (records -> {out_path})"
+    );
+    let mut lines = Vec::new();
+    for &anchors in &anchor_grid {
+        for &d in &ds {
+            // n = anchors: every vertex is an anchor, so the Sinkhorn
+            // problems are exactly anchors × anchors.
+            let inst = planted(anchors, d, SEED ^ ((anchors as u64) << 8) ^ d as u64);
+            let cfg = SubspaceAlignConfig {
+                anchors,
+                iterations: iters,
+                ..Default::default()
+            };
+            assert_kernels_agree(&inst, &cfg, anchors, d);
+
+            let t = Instant::now();
+            let fast = align_subspaces(&inst.y1, &inst.y2, &inst.ga, &inst.gb, &cfg)
+                .expect("planted instance is valid");
+            let fast_s = t.elapsed().as_secs_f64();
+
+            let mut rec = JsonRecord::new()
+                .str("bench", "subspace")
+                .int("anchors", anchors)
+                .int("d", d)
+                .int("iterations", iters)
+                .num("fast_s", fast_s)
+                .num(
+                    "final_round_cost",
+                    fast.round_costs.last().copied().unwrap_or(f64::NAN),
+                );
+            if anchors <= reference_max {
+                let t = Instant::now();
+                let oracle =
+                    align_subspaces_reference(&inst.y1, &inst.y2, &inst.ga, &inst.gb, &cfg)
+                        .expect("planted instance is valid");
+                let reference_s = t.elapsed().as_secs_f64();
+                let dq = max_abs_diff(&fast.rotation, &oracle.rotation);
+                rec = rec
+                    .num("reference_s", reference_s)
+                    .num("speedup", reference_s / fast_s)
+                    .num("rotation_dmax", dq)
+                    .str("kernels_agree", "yes");
+                println!(
+                    "  anchors {anchors:>5}, d {d:>4}: fast {fast_s:>8.3}s, reference \
+                     {reference_s:>8.3}s, speedup {:>5.1}x, |ΔQ|∞ = {dq:.2e}",
+                    reference_s / fast_s
+                );
+            } else {
+                rec = rec
+                    .null("reference_s")
+                    .null("speedup")
+                    .null("rotation_dmax")
+                    .str(
+                        "kernels_agree",
+                        "yes (end-to-end reference skipped above CUALIGN_SUBSPACE_REFERENCE_MAX)",
+                    );
+                println!(
+                    "  anchors {anchors:>5}, d {d:>4}: fast {fast_s:>8.3}s, reference skipped \
+                     (anchors > {reference_max})"
+                );
+            }
+            lines.push(rec.finish());
+        }
+    }
+
+    let mut f = std::fs::File::create(&out_path).expect("record sink is writable");
+    for line in &lines {
+        writeln!(f, "{line}").expect("record sink is writable");
+    }
+    println!("wrote {} records to {out_path}", lines.len());
+}

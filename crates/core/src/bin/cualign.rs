@@ -3,6 +3,8 @@
 //! ```text
 //! cualign align --graph-a A.txt --graph-b B.txt [--density 0.025 | --k 10]
 //!               [--bp-iters 25] [--dim 128] [--multilevel L]
+//!               [--subspace-anchors N] [--subspace-iters R]
+//!               [--sinkhorn-epsilon E]
 //!               [--method cualign|cone|isorank]
 //!               [--output mapping.tsv] [--telemetry off|summary|json:PATH]
 //! cualign stats --graph G.txt
@@ -46,7 +48,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--multilevel L] \\\n                [--method cualign|cone|isorank] [--output OUT.tsv] \\\n                [--telemetry off|summary|json:PATH]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
+        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--multilevel L] \\\n                [--subspace-anchors N] [--subspace-iters R] [--sinkhorn-epsilon E] \\\n                [--method cualign|cone|isorank] [--output OUT.tsv] \\\n                [--telemetry off|summary|json:PATH]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
     );
     ExitCode::from(2)
 }
@@ -129,6 +131,20 @@ fn config_from_flags(flags: &HashMap<String, String>) -> Result<AlignerConfig, S
     }
     if let Some(levels) = flags.get("multilevel") {
         builder = builder.multilevel(levels.parse().map_err(|e| format!("--multilevel: {e}"))?);
+    }
+    if let Some(a) = flags.get("subspace-anchors") {
+        builder =
+            builder.subspace_anchors(a.parse().map_err(|e| format!("--subspace-anchors: {e}"))?);
+    }
+    if let Some(n) = flags.get("subspace-iters") {
+        builder =
+            builder.subspace_iterations(n.parse().map_err(|e| format!("--subspace-iters: {e}"))?);
+    }
+    if let Some(eps) = flags.get("sinkhorn-epsilon") {
+        builder = builder.sinkhorn_epsilon(
+            eps.parse()
+                .map_err(|e| format!("--sinkhorn-epsilon: {e}"))?,
+        );
     }
     builder.build().map_err(|e| e.to_string())
 }
@@ -265,6 +281,33 @@ mod tests {
         assert!(err.contains("sparsity.density"), "{err}");
         let f = parse_flags(&v(&["--dim", "0"])).unwrap();
         assert!(config_from_flags(&f).is_err());
+    }
+
+    #[test]
+    fn subspace_flags_route_through_builder() {
+        let f = parse_flags(&v(&[
+            "--subspace-anchors",
+            "512",
+            "--subspace-iters",
+            "5",
+            "--sinkhorn-epsilon",
+            "0.08",
+        ]))
+        .unwrap();
+        let cfg = config_from_flags(&f).unwrap();
+        assert_eq!(cfg.subspace.anchors, 512);
+        assert_eq!(cfg.subspace.iterations, 5);
+        assert_eq!(cfg.subspace.sinkhorn.epsilon, 0.08);
+    }
+
+    #[test]
+    fn bad_subspace_flags_are_clean_errors() {
+        let f = parse_flags(&v(&["--sinkhorn-epsilon", "0"])).unwrap();
+        let err = config_from_flags(&f).unwrap_err();
+        assert!(err.contains("subspace.sinkhorn.epsilon"), "{err}");
+        let f = parse_flags(&v(&["--subspace-iters", "0"])).unwrap();
+        let err = config_from_flags(&f).unwrap_err();
+        assert!(err.contains("subspace.iterations"), "{err}");
     }
 
     #[test]

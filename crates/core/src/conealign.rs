@@ -82,18 +82,17 @@ mod tests {
 
     fn cfg() -> AlignerConfig {
         use cualign_embed::{EmbeddingMethod, SpectralConfig};
-        let mut cfg = AlignerConfig {
-            embedding: EmbeddingMethod::Spectral(SpectralConfig {
+        AlignerConfig::builder()
+            .embedding(EmbeddingMethod::Spectral(SpectralConfig {
                 dim: 24,
                 oversample: 12,
                 ..Default::default()
-            }),
-            sparsity: SparsityChoice::K(6),
-            ..AlignerConfig::default()
-        };
-        cfg.bp.max_iters = 12;
-        cfg.subspace.anchors = 0;
-        cfg
+            }))
+            .sparsity(SparsityChoice::K(6))
+            .bp_iters(12)
+            .subspace_anchors(0)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]

@@ -137,20 +137,10 @@ impl AlignerConfig {
                 format!("must be finite and >= 0, got {}", self.bp.beta),
             );
         }
-        let eps = self.subspace.sinkhorn.epsilon;
-        if eps <= 0.0 || eps.is_nan() {
-            return bad(
-                "subspace.sinkhorn.epsilon",
-                format!("must be > 0, got {}", self.subspace.sinkhorn.epsilon),
-            );
-        }
-        let eps0 = self.subspace.epsilon_start;
-        if eps0 <= 0.0 || eps0.is_nan() {
-            return bad(
-                "subspace.epsilon_start",
-                format!("must be > 0, got {}", self.subspace.epsilon_start),
-            );
-        }
+        // Subspace range checks live with the config they guard
+        // (`SubspaceAlignConfig::validate` in cualign-embed); the `From`
+        // impl maps its `InvalidConfig` onto ours, dotted field intact.
+        self.subspace.validate().map_err(AlignError::from)?;
         if let Some(ml) = self.multilevel {
             if ml.levels == 0 {
                 return bad("multilevel.levels", "must be at least 1".into());
@@ -250,15 +240,30 @@ impl AlignerConfigBuilder {
         self
     }
 
-    /// Replaces the subspace-alignment parameters wholesale.
-    pub fn subspace(mut self, subspace: SubspaceAlignConfig) -> Self {
-        self.cfg.subspace = subspace;
+    /// Sets the anchor count for subspace alignment (0 = every vertex).
+    pub fn subspace_anchors(mut self, anchors: usize) -> Self {
+        self.cfg.subspace.anchors = anchors;
         self
     }
 
-    /// Sets the anchor count for subspace alignment (0 = every vertex).
-    pub fn anchors(mut self, anchors: usize) -> Self {
-        self.cfg.subspace.anchors = anchors;
+    /// Sets the number of Sinkhorn ⇄ Procrustes alternation rounds
+    /// (must be ≥ 1; `build()` rejects 0).
+    pub fn subspace_iterations(mut self, iterations: usize) -> Self {
+        self.cfg.subspace.iterations = iterations;
+        self
+    }
+
+    /// Sets the **final** entropic regularization of the annealed
+    /// Sinkhorn schedule (must be > 0; `build()` rejects otherwise).
+    pub fn sinkhorn_epsilon(mut self, epsilon: f64) -> Self {
+        self.cfg.subspace.sinkhorn.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the **initial** entropic regularization the annealing starts
+    /// from (must be > 0; `build()` rejects otherwise).
+    pub fn epsilon_start(mut self, epsilon: f64) -> Self {
+        self.cfg.subspace.epsilon_start = epsilon;
         self
     }
 
@@ -399,13 +404,58 @@ mod tests {
             .density(0.025)
             .bp_iters(25)
             .embedding_dim(32)
-            .anchors(256)
+            .subspace_anchors(256)
+            .subspace_iterations(6)
+            .sinkhorn_epsilon(0.04)
+            .epsilon_start(0.25)
             .build()
             .unwrap();
         assert_eq!(cfg.sparsity, SparsityChoice::Density(0.025));
         assert_eq!(cfg.bp.max_iters, 25);
         assert_eq!(cfg.embedding.dim(), 32);
         assert_eq!(cfg.subspace.anchors, 256);
+        assert_eq!(cfg.subspace.iterations, 6);
+        assert_eq!(cfg.subspace.sinkhorn.epsilon, 0.04);
+        assert_eq!(cfg.subspace.epsilon_start, 0.25);
+    }
+
+    #[test]
+    fn builder_rejects_bad_subspace_knobs() {
+        for bad in [0.0, -0.1, f64::NAN] {
+            let err = AlignerConfig::builder()
+                .sinkhorn_epsilon(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                AlignError::InvalidConfig {
+                    field: "subspace.sinkhorn.epsilon",
+                    ..
+                }
+            ));
+            let err = AlignerConfig::builder()
+                .epsilon_start(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                AlignError::InvalidConfig {
+                    field: "subspace.epsilon_start",
+                    ..
+                }
+            ));
+        }
+        let err = AlignerConfig::builder()
+            .subspace_iterations(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AlignError::InvalidConfig {
+                field: "subspace.iterations",
+                ..
+            }
+        ));
     }
 
     #[test]

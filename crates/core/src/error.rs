@@ -61,6 +61,25 @@ pub enum AlignError {
         /// Underlying error message.
         reason: String,
     },
+    /// The subspace-alignment stage rejected its inputs (dimension or
+    /// row-count mismatch between embeddings and graphs). Configuration
+    /// errors are normalized to [`AlignError::InvalidConfig`] at build
+    /// time; this variant carries the shape mismatches only a live
+    /// embedding can exhibit.
+    Subspace(cualign_embed::SubspaceError),
+}
+
+impl From<cualign_embed::SubspaceError> for AlignError {
+    fn from(e: cualign_embed::SubspaceError) -> Self {
+        match e {
+            // Config errors keep their dotted-field shape so callers can
+            // match on `InvalidConfig { field, .. }` uniformly.
+            cualign_embed::SubspaceError::InvalidConfig { field, reason } => {
+                AlignError::InvalidConfig { field, reason }
+            }
+            other => AlignError::Subspace(other),
+        }
+    }
 }
 
 impl fmt::Display for AlignError {
@@ -83,6 +102,7 @@ impl fmt::Display for AlignError {
                 write!(f, "invalid config: {field}: {reason}")
             }
             AlignError::Io { path, reason } => write!(f, "{path}: {reason}"),
+            AlignError::Subspace(e) => write!(f, "subspace alignment: {e}"),
         }
     }
 }
@@ -114,5 +134,25 @@ mod tests {
     fn is_std_error() {
         fn takes_error<E: std::error::Error>(_: E) {}
         takes_error(AlignError::EmptySparsification);
+    }
+
+    #[test]
+    fn subspace_errors_convert_preserving_config_shape() {
+        use cualign_embed::SubspaceError;
+        let shape: AlignError = SubspaceError::DimensionMismatch { left: 8, right: 16 }.into();
+        assert!(matches!(shape, AlignError::Subspace(_)));
+        assert!(shape.to_string().contains("subspace alignment"));
+        let cfg: AlignError = SubspaceError::InvalidConfig {
+            field: "subspace.iterations",
+            reason: "must be at least 1".into(),
+        }
+        .into();
+        assert!(matches!(
+            cfg,
+            AlignError::InvalidConfig {
+                field: "subspace.iterations",
+                ..
+            }
+        ));
     }
 }

@@ -492,7 +492,7 @@ impl<'g> AlignmentSession<'g> {
 
     // -- stage 2: subspace alignment ----------------------------------
 
-    fn ensure_subspace(&mut self) -> StageOutcome {
+    fn ensure_subspace(&mut self) -> Result<StageOutcome, AlignError> {
         let upstream = self.ensure_embeddings();
         let fp = subspace_fingerprint(
             self.embeddings
@@ -503,7 +503,7 @@ impl<'g> AlignmentSession<'g> {
         );
         if upstream.hit && matches!(&self.subspace, Some(c) if c.fingerprint == fp) {
             self.tele.subspace.hits.inc();
-            return StageOutcome::hit();
+            return Ok(StageOutcome::hit());
         }
         self.tele.subspace.misses.inc();
         let (sub, seconds) = self.registry.timed("session.subspace", || {
@@ -512,24 +512,24 @@ impl<'g> AlignmentSession<'g> {
         });
         self.subspace = Some(Cached {
             fingerprint: fp,
-            value: sub,
+            value: sub?,
         });
         self.counters.subspace_builds += 1;
         self.cumulative.subspace_s += seconds;
-        StageOutcome::built()
+        Ok(StageOutcome::built())
     }
 
     /// The stage-2 artifact: embeddings rotated into a common subspace
     /// (Eq. 2).
     pub fn subspace(&mut self) -> Result<&SubspaceAlignment, AlignError> {
-        self.ensure_subspace();
+        self.ensure_subspace()?;
         Ok(&self.subspace.as_ref().expect("subspace just ensured").value)
     }
 
     // -- stage 3: sparsification --------------------------------------
 
     fn ensure_sparse_l(&mut self) -> Result<StageOutcome, AlignError> {
-        let upstream = self.ensure_subspace();
+        let upstream = self.ensure_subspace()?;
         let fp = sparsity_fingerprint(
             self.subspace
                 .as_ref()

@@ -33,7 +33,11 @@ pub mod subspace;
 
 pub use proximity::{fastrp_embedding, FastRpConfig};
 pub use spectral::{spectral_embedding, SpectralConfig};
-pub use subspace::{align_subspaces, SubspaceAlignConfig, SubspaceAlignment};
+pub use subspace::{
+    align_subspaces, align_subspaces_reference, pairwise_cost, pairwise_cost_reference,
+    structural_features, structural_features_for, SubspaceAlignConfig, SubspaceAlignment,
+    SubspaceError,
+};
 
 use cualign_graph::CsrGraph;
 use cualign_linalg::DenseMatrix;

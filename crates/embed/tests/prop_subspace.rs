@@ -1,0 +1,165 @@
+//! Property tests pinning the subspace stage's fast kernels to their
+//! in-tree reference oracles (the `prop_gemm.rs` pattern, adapted):
+//!
+//! * [`pairwise_cost`] vs [`pairwise_cost_reference`] — the GEMM
+//!   expansion `‖x‖² + ‖z‖² − 2·x·z` reassociates the per-pair sums, so
+//!   the pin is a tight tolerance (1e-10 on unit-scale Gaussians), not
+//!   bitwise, over random shapes including tile-edge and degenerate
+//!   dimensions.
+//! * blocked [`sinkhorn`] vs [`sinkhorn_reference`] — scaled-potential
+//!   arithmetic plus the polynomial `exp` differ from the seed sweep only
+//!   in floating-point association; plans must agree element-wise to
+//!   1e-9 on random cost matrices spanning the annealing schedule's ε
+//!   range.
+//! * [`align_subspaces`] vs [`align_subspaces_reference`] — the full
+//!   alternation stays glued end-to-end on planted permuted pairs.
+
+use cualign_embed::{
+    align_subspaces, align_subspaces_reference, pairwise_cost, pairwise_cost_reference,
+    SubspaceAlignConfig,
+};
+use cualign_graph::generators::barabasi_albert;
+use cualign_linalg::{sinkhorn, sinkhorn_reference, DenseMatrix, SinkhornOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gaussian(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::gaussian(rows, cols, &mut StdRng::seed_from_u64(seed))
+}
+
+fn max_abs_diff(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GEMM-based cost ≡ scalar reference on random rectangular shapes,
+    /// including non-multiple-of-tile edges, single rows/columns, and the
+    /// zero-dimensional embedding (every distance 0).
+    #[test]
+    fn gemm_cost_matches_reference(
+        n in 1usize..40,
+        m in 1usize..40,
+        d in 0usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let x = gaussian(n, d, seed);
+        let z = gaussian(m, d, seed.wrapping_add(1));
+        let fast = pairwise_cost(&x, &z);
+        let oracle = pairwise_cost_reference(&x, &z);
+        prop_assert_eq!((fast.rows(), fast.cols()), (n, m));
+        let worst = max_abs_diff(&fast, &oracle);
+        prop_assert!(worst < 1e-10, "cost kernels diverge by {:e}", worst);
+    }
+
+    /// Identical rows must cost (numerically) zero under both kernels —
+    /// the tie case where the GEMM expansion is most cancellation-prone
+    /// (and where its zero-clamp engages).
+    #[test]
+    fn gemm_cost_ties_are_clamped_nonnegative(
+        n in 1usize..24,
+        d in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let x = gaussian(n, d, seed);
+        let fast = pairwise_cost(&x, &x);
+        for i in 0..n {
+            prop_assert!(fast[(i, i)] >= 0.0);
+            prop_assert!(fast[(i, i)] < 1e-10, "self-cost {:e}", fast[(i, i)]);
+        }
+        prop_assert!(fast.data().iter().all(|&c| c >= 0.0));
+    }
+
+    /// Blocked Sinkhorn ≡ the seed sweep on random cost matrices, across
+    /// the ε range the annealed schedule actually visits, rectangular
+    /// shapes, and column counts straddling the COL_BLOCK panel edge.
+    #[test]
+    fn blocked_sinkhorn_matches_reference(
+        n in 1usize..30,
+        m in 1usize..30,
+        eps_scaled in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cost = DenseMatrix::gaussian(n, m, &mut rng);
+        // Costs are squared distances in the pipeline: keep them ≥ 0.
+        let cost = DenseMatrix::from_fn(n, m, |i, j| cost[(i, j)].abs());
+        let opts = SinkhornOptions {
+            epsilon: 0.05 * eps_scaled as f64, // 0.05 ..= 0.55
+            max_iters: 200,
+            tolerance: 1e-7,
+        };
+        let fast = sinkhorn(&cost, &opts);
+        let oracle = sinkhorn_reference(&cost, &opts);
+        let worst = max_abs_diff(&fast.plan, &oracle.plan);
+        prop_assert!(worst < 1e-9, "plans diverge by {:e}", worst);
+        prop_assert!(
+            (fast.marginal_error - oracle.marginal_error).abs() < 1e-9,
+            "marginal errors diverge: {} vs {}",
+            fast.marginal_error,
+            oracle.marginal_error
+        );
+    }
+}
+
+proptest! {
+    // End-to-end alternation runs two full alignments per case; keep the
+    // case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The fast alternation and the seed (all-reference) alternation stay
+    /// glued end-to-end on planted instances: the two paths seed the
+    /// alternation differently (the fast path caps the stalled init
+    /// solve), so the pin is the *fixed point* — on a planted permuted
+    /// pair the annealed rounds must converge to the same rotation from
+    /// either seed, without kernel-level 1e-12 disagreements or the
+    /// coarser seed being amplified into a different matching.
+    #[test]
+    fn fast_alignment_tracks_reference_alignment(
+        n in 40usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ga = barabasi_albert(n, 3, &mut rng);
+        let p = cualign_graph::Permutation::random(n, &mut rng);
+        let gb = p.apply_to_graph(&ga);
+        let y1 = gaussian(n, 8, seed.wrapping_add(2));
+        let q0 = cualign_linalg::qr::orthonormalize(&gaussian(8, 8, seed.wrapping_add(3)));
+        let rotated = y1.matmul(&q0);
+        let mut y2 = DenseMatrix::zeros(n, 8);
+        for i in 0..n {
+            y2.row_mut(p.apply(i as u32) as usize)
+                .copy_from_slice(rotated.row(i));
+        }
+        let cfg = SubspaceAlignConfig {
+            anchors: 0,
+            iterations: 6,
+            ..Default::default()
+        };
+        let fast = align_subspaces(&y1, &y2, &ga, &gb, &cfg).unwrap();
+        let oracle = align_subspaces_reference(&y1, &y2, &ga, &gb, &cfg).unwrap();
+        // Full-anchor planted instances have an unambiguous fixed point:
+        // both seeds must snap to the planted rotation, so the residual
+        // gap is pure annealed-convergence slack. A different matching
+        // would put the rotations O(0.1)–O(1) apart.
+        let dq = max_abs_diff(&fast.rotation, &oracle.rotation);
+        prop_assert!(dq < 1e-3, "rotations diverge by {:e}", dq);
+        prop_assert_eq!(fast.round_costs.len(), oracle.round_costs.len());
+        let (fa, oa) = (fast.round_costs.last().unwrap(), oracle.round_costs.last().unwrap());
+        // Same-matching plans still differ in entropic smoothing at the
+        // final ε, so pin the final cost relatively: a wrong matching
+        // shifts it by tens of percent, the seed difference by ≲ 0.2%.
+        prop_assert!(
+            (fa - oa).abs() < 1e-2 * (1.0 + oa.abs()),
+            "final round costs diverge: {} vs {}",
+            fa,
+            oa
+        );
+    }
+}

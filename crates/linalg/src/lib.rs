@@ -33,6 +33,7 @@
 
 pub mod dense;
 pub mod eig;
+pub mod fastexp;
 pub mod gemm;
 pub mod procrustes;
 pub mod qr;
@@ -41,6 +42,10 @@ pub mod svd;
 pub mod vecops;
 
 pub use dense::DenseMatrix;
+pub use fastexp::{exp_fast, EXP_UNDERFLOW};
 pub use procrustes::orthogonal_procrustes;
-pub use sinkhorn::{sinkhorn, SinkhornOptions, TransportPlan};
+pub use sinkhorn::{
+    sinkhorn, sinkhorn_reference, sinkhorn_warm_with, sinkhorn_with, SinkhornOptions,
+    SinkhornWorkspace, TransportPlan,
+};
 pub use svd::{jacobi_svd, Svd};

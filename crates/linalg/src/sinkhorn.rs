@@ -6,9 +6,47 @@
 //! Sinkhorn alternates row/column scalings of the Gibbs kernel
 //! `K = exp(−C/ε)`; all updates run in log-space for numerical safety at
 //! small `ε`.
+//!
+//! Two implementations live here:
+//!
+//! * [`sinkhorn`] / [`sinkhorn_with`] — the **blocked** solver the pipeline
+//!   runs. It precomputes the scaled kernel `−C/ε` once (one reciprocal
+//!   multiply per element for the whole solve, instead of a division per
+//!   element per sweep), keeps the dual potentials in `/ε` units so the
+//!   inner loops are pure add/max/[`exp_fast`](crate::fastexp::exp_fast),
+//!   skips the polynomial entirely for arguments below the
+//!   [`EXP_UNDERFLOW`](crate::fastexp::EXP_UNDERFLOW) cutoff (past
+//!   convergence the annealed kernel has one surviving entry per row —
+//!   the skip turns each exp-sum sweep into a compare sweep, and it is
+//!   exact: those terms are hard zeros under `exp_fast`'s flush-to-zero
+//!   contract), streams the **column** update in row-major
+//!   [`COL_BLOCK`]-wide panels (the naive column walk strides by the row
+//!   length and misses cache on every element once the matrix outgrows
+//!   L2), reuses the row log-sum-exp between the convergence check and
+//!   the next row update (two `n·m` reductions per sweep instead of
+//!   three), and reuses every buffer across iterations — and, through a
+//!   caller-supplied [`SinkhornWorkspace`], across solves. Annealed solve
+//!   sequences can additionally warm-start each round from the previous
+//!   round's rescaled potentials ([`sinkhorn_warm_with`]), replacing the
+//!   slow cold-start transient at small `ε` with a handful of corrective
+//!   sweeps. Row chunks and
+//!   column panels are disjoint, so rayon parallelism never changes the
+//!   reduction order: results are deterministic under any thread count.
+//! * [`sinkhorn_reference`] — the seed implementation, kept verbatim as the
+//!   exactness oracle. `embed/tests/prop_subspace.rs` pins the blocked
+//!   solver against it on random cost matrices.
+//!
+//! The two differ only in floating-point association (scaled-domain
+//! arithmetic and the polynomial `exp`), so plans agree to ~1e-12 — far
+//! inside the entropic smoothing of any `ε` the pipeline uses.
 
+use crate::fastexp::{exp_fast, EXP_UNDERFLOW};
 use crate::DenseMatrix;
 use rayon::prelude::*;
+
+/// Column-panel width of the blocked column update: 256 lanes = 2 KiB of
+/// kernel row per stream step, a full prefetch-friendly stride.
+pub const COL_BLOCK: usize = 256;
 
 /// Sinkhorn solver parameters.
 #[derive(Clone, Copy, Debug)]
@@ -42,12 +80,335 @@ pub struct TransportPlan {
     pub marginal_error: f64,
 }
 
-/// Runs log-domain Sinkhorn on cost matrix `cost` (`n × m`) with uniform
-/// marginals `1/n`, `1/m`.
+/// Reusable buffers for [`sinkhorn_with`].
+///
+/// One Sinkhorn-annealed subspace alignment solves `iterations + 1`
+/// transport problems of identical shape; routing them through one
+/// workspace means the `n·m` scaled-kernel buffer and the potential/LSE
+/// vectors are allocated once per alignment instead of once per solve.
+#[derive(Debug, Default)]
+pub struct SinkhornWorkspace {
+    /// `−C/ε`, the log-domain Gibbs kernel (`n·m`).
+    kernel: Vec<f64>,
+    /// Row potentials in `/ε` units (`f/ε`).
+    fs: Vec<f64>,
+    /// Column potentials in `/ε` units (`g/ε`).
+    gs: Vec<f64>,
+    /// `log Σ_j exp(gs_j + kernel_ij)` per row, shared between the
+    /// convergence check and the next row update.
+    row_lse: Vec<f64>,
+    /// `ε` of the last completed solve — the rescaling anchor for
+    /// [`sinkhorn_warm_with`]; `0` means no usable potentials.
+    last_eps: f64,
+}
+
+impl SinkhornWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SinkhornWorkspace::default()
+    }
+
+    /// Drops the carried potentials: the next [`sinkhorn_warm_with`]
+    /// cold-starts. Call between solve sequences whose cost matrices are
+    /// unrelated (different scale or structure) — continuation only pays
+    /// off when consecutive fixed points are close.
+    pub fn forget_potentials(&mut self) {
+        self.last_eps = 0.0;
+    }
+}
+
+/// Lane width of the strip-structured reductions. Eight f64 lanes break
+/// the serial `max`/`sum` dependency chains (and the 13-step Horner chain
+/// of [`exp_fast`]) into independent streams the core can overlap, and
+/// give the SLP vectorizer a fixed shape to pack.
+const STRIP: usize = 8;
+
+/// Pairwise (tree-shaped) fold of one strip of accumulators — three
+/// dependent steps instead of seven.
+#[inline(always)]
+fn strip_max(a: &[f64; STRIP]) -> f64 {
+    (a[0].max(a[1]).max(a[2].max(a[3]))).max(a[4].max(a[5]).max(a[6].max(a[7])))
+}
+
+#[inline(always)]
+fn strip_sum(a: &[f64; STRIP]) -> f64 {
+    ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]))
+}
+
+/// Row pass: `row_lse[i] = log Σ_j exp(gs[j] + kernel[i·m + j])`.
+/// Each row is a two-sweep (max, then exp-sum) reduction over contiguous
+/// memory, run [`STRIP`] lanes at a time; rayon splits across rows only.
+/// The exp-sum sweep skips any strip whose arguments all sit below the
+/// [`EXP_UNDERFLOW`] cutoff — past convergence the annealed kernel is
+/// dominated by one near-zero entry per row, so eight compares replace
+/// eight polynomials almost everywhere. The skip is exact: skipped terms
+/// are hard zeros under [`exp_fast`]'s flush-to-zero contract.
+fn row_lse_pass(kernel: &[f64], gs: &[f64], row_lse: &mut [f64], m: usize) {
+    let main = m - m % STRIP;
+    row_lse.par_iter_mut().enumerate().for_each(|(i, out)| {
+        let krow = &kernel[i * m..(i + 1) * m];
+        let mut mx = [f64::NEG_INFINITY; STRIP];
+        for (k8, g8) in krow[..main]
+            .chunks_exact(STRIP)
+            .zip(gs[..main].chunks_exact(STRIP))
+        {
+            for l in 0..STRIP {
+                mx[l] = mx[l].max(g8[l] + k8[l]);
+            }
+        }
+        let mut maxv = strip_max(&mx);
+        for (&kv, &g) in krow[main..].iter().zip(&gs[main..]) {
+            maxv = maxv.max(g + kv);
+        }
+        if maxv == f64::NEG_INFINITY {
+            *out = f64::NEG_INFINITY;
+            return;
+        }
+        let mut acc = [0.0f64; STRIP];
+        for (k8, g8) in krow[..main]
+            .chunks_exact(STRIP)
+            .zip(gs[..main].chunks_exact(STRIP))
+        {
+            let mut a = [0.0f64; STRIP];
+            for l in 0..STRIP {
+                a[l] = g8[l] + k8[l] - maxv;
+            }
+            if strip_max(&a) > EXP_UNDERFLOW {
+                for l in 0..STRIP {
+                    acc[l] += exp_fast(a[l]);
+                }
+            }
+        }
+        let mut sum = strip_sum(&acc);
+        for (&kv, &g) in krow[main..].iter().zip(&gs[main..]) {
+            let a = g + kv - maxv;
+            if a > EXP_UNDERFLOW {
+                sum += exp_fast(a);
+            }
+        }
+        *out = maxv + sum.ln();
+    });
+}
+
+/// Column pass: `gs[j] = log ν − log Σ_i exp(fs[i] + kernel[i·m + j])`,
+/// streamed row-major over [`COL_BLOCK`]-wide panels so every kernel
+/// element arrives on a fully-used cache line. Per-column accumulation
+/// still runs in strictly increasing `i` order: deterministic under any
+/// rayon split.
+fn col_pass(kernel: &[f64], fs: &[f64], gs: &mut [f64], log_nu: f64) {
+    let n = fs.len();
+    let m = gs.len();
+    gs.par_chunks_mut(COL_BLOCK)
+        .enumerate()
+        .for_each(|(bi, gblock)| {
+            let j0 = bi * COL_BLOCK;
+            let w = gblock.len();
+            let mut maxs = [f64::NEG_INFINITY; COL_BLOCK];
+            for (i, &fi) in fs.iter().enumerate().take(n) {
+                let krow = &kernel[i * m + j0..i * m + j0 + w];
+                for (mx, &kv) in maxs[..w].iter_mut().zip(krow) {
+                    *mx = mx.max(fi + kv);
+                }
+            }
+            let mut sums = [0.0f64; COL_BLOCK];
+            let wmain = w - w % STRIP;
+            for (i, &fi) in fs.iter().enumerate().take(n) {
+                let krow = &kernel[i * m + j0..i * m + j0 + w];
+                // Same strip-level underflow skip as the row pass, eight
+                // panel lanes at a time.
+                for b in (0..wmain).step_by(STRIP) {
+                    let mut a = [0.0f64; STRIP];
+                    for l in 0..STRIP {
+                        a[l] = fi + krow[b + l] - maxs[b + l];
+                    }
+                    if strip_max(&a) > EXP_UNDERFLOW {
+                        for l in 0..STRIP {
+                            sums[b + l] += exp_fast(a[l]);
+                        }
+                    }
+                }
+                for j in wmain..w {
+                    let a = fi + krow[j] - maxs[j];
+                    if a > EXP_UNDERFLOW {
+                        sums[j] += exp_fast(a);
+                    }
+                }
+            }
+            for ((g, &mx), &s) in gblock.iter_mut().zip(&maxs[..w]).zip(&sums[..w]) {
+                *g = if mx == f64::NEG_INFINITY {
+                    f64::INFINITY
+                } else {
+                    log_nu - (mx + s.ln())
+                };
+            }
+        });
+}
+
+/// Runs blocked log-domain Sinkhorn on cost matrix `cost` (`n × m`) with
+/// uniform marginals `1/n`, `1/m`. Allocates a fresh workspace; callers
+/// solving many same-shaped problems should hold a [`SinkhornWorkspace`]
+/// and call [`sinkhorn_with`].
+///
+/// # Panics
+/// Panics if the cost matrix is empty or `epsilon <= 0` (the pipeline
+/// validates both at configuration time — see `AlignerConfig::builder`).
+pub fn sinkhorn(cost: &DenseMatrix, opts: &SinkhornOptions) -> TransportPlan {
+    sinkhorn_with(cost, opts, &mut SinkhornWorkspace::new())
+}
+
+/// As [`sinkhorn`], reusing the buffers in `ws` across calls.
 ///
 /// # Panics
 /// Panics if the cost matrix is empty or `epsilon <= 0`.
-pub fn sinkhorn(cost: &DenseMatrix, opts: &SinkhornOptions) -> TransportPlan {
+pub fn sinkhorn_with(
+    cost: &DenseMatrix,
+    opts: &SinkhornOptions,
+    ws: &mut SinkhornWorkspace,
+) -> TransportPlan {
+    sinkhorn_impl(cost, opts, ws, false)
+}
+
+/// As [`sinkhorn_with`], but warm-started from the potentials of the
+/// workspace's previous solve when one of matching column count exists:
+/// the carried `g/ε_prev` potentials are rescaled by `ε_prev/ε` (the
+/// standard ε-scaling continuation), so an annealed sequence of solves
+/// over a slowly-moving cost matrix starts each round near its fixed
+/// point instead of at zero. Converges to the same plan as a cold solve
+/// (the entropic fixed point is unique; only the iteration trajectory
+/// differs), typically in a handful of sweeps per round instead of the
+/// full budget. Falls back to a cold start on the first solve or after a
+/// shape change.
+///
+/// # Panics
+/// Panics if the cost matrix is empty or `epsilon <= 0`.
+pub fn sinkhorn_warm_with(
+    cost: &DenseMatrix,
+    opts: &SinkhornOptions,
+    ws: &mut SinkhornWorkspace,
+) -> TransportPlan {
+    sinkhorn_impl(cost, opts, ws, true)
+}
+
+fn sinkhorn_impl(
+    cost: &DenseMatrix,
+    opts: &SinkhornOptions,
+    ws: &mut SinkhornWorkspace,
+    warm: bool,
+) -> TransportPlan {
+    let (n, m) = (cost.rows(), cost.cols());
+    assert!(n > 0 && m > 0, "empty cost matrix");
+    assert!(opts.epsilon > 0.0, "epsilon must be positive");
+    let eps = opts.epsilon;
+    let log_mu = -(n as f64).ln(); // log(1/n)
+    let log_nu = -(m as f64).ln(); // log(1/m)
+
+    // Scaled kernel −C/ε: ε is inverted once and applied as a multiply
+    // (the per-element quotient differs from a true divide by ≤ 1 ulp,
+    // far inside the oracle tolerance).
+    let neg_inv_eps = -1.0 / eps;
+    ws.kernel.clear();
+    ws.kernel.resize(n * m, 0.0);
+    ws.kernel
+        .par_chunks_mut(m)
+        .zip(cost.data().par_chunks(m))
+        .for_each(|(krow, crow)| {
+            for (k, &c) in krow.iter_mut().zip(crow) {
+                *k = c * neg_inv_eps;
+            }
+        });
+    ws.fs.clear();
+    ws.fs.resize(n, 0.0);
+    if warm && ws.last_eps > 0.0 && ws.gs.len() == m && ws.gs.iter().all(|g| g.is_finite()) {
+        // gs holds g/ε_prev; the same g in the new solve's units is
+        // gs · (ε_prev/ε).
+        let scale = ws.last_eps / eps;
+        for g in &mut ws.gs {
+            *g *= scale;
+        }
+    } else {
+        ws.gs.clear();
+        ws.gs.resize(m, 0.0);
+    }
+    ws.row_lse.clear();
+    ws.row_lse.resize(n, 0.0);
+
+    // Row LSE for the initial gs = 0; thereafter it is refreshed at the
+    // bottom of the loop and shared by the convergence check *and* the
+    // next sweep's row update.
+    row_lse_pass(&ws.kernel, &ws.gs, &mut ws.row_lse, m);
+    let mu = log_mu.exp();
+    let mut iterations = 0;
+    let mut marginal_error = f64::INFINITY;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        // fs_i ← log μ − row_lse_i  (the f-update, in /ε units).
+        for (f, &r) in ws.fs.iter_mut().zip(&ws.row_lse) {
+            *f = log_mu - r;
+        }
+        col_pass(&ws.kernel, &ws.fs, &mut ws.gs, log_nu);
+        row_lse_pass(&ws.kernel, &ws.gs, &mut ws.row_lse, m);
+        // Row marginal violation (columns are exact right after their
+        // update). Summed sequentially so the convergence cutoff — and
+        // thus the whole pipeline — is run-to-run stable.
+        marginal_error = ws
+            .row_lse
+            .iter()
+            .zip(&ws.fs)
+            .map(|(&r, &f)| ((r + f).exp() - mu).abs())
+            .sum();
+        if marginal_error < opts.tolerance {
+            break;
+        }
+    }
+    ws.last_eps = eps;
+
+    // Materialize the plan T(i,j) = exp(fs_i + gs_j + kernel_ij).
+    let mut plan = DenseMatrix::zeros(n, m);
+    plan.data_mut()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(i, row)| {
+            let krow = &ws.kernel[i * m..(i + 1) * m];
+            let fi = ws.fs[i];
+            // Underflow skip again: a converged plan is a near-
+            // permutation, so almost every strip is left as the exact
+            // zeros the buffer started with — which also keeps the
+            // downstream Procrustes projection free of subnormal
+            // operands.
+            let main = m - m % STRIP;
+            for b in (0..main).step_by(STRIP) {
+                let mut a = [0.0f64; STRIP];
+                for l in 0..STRIP {
+                    a[l] = fi + ws.gs[b + l] + krow[b + l];
+                }
+                if strip_max(&a) > EXP_UNDERFLOW {
+                    for l in 0..STRIP {
+                        row[b + l] = exp_fast(a[l]);
+                    }
+                }
+            }
+            for j in main..m {
+                let a = fi + ws.gs[j] + krow[j];
+                if a > EXP_UNDERFLOW {
+                    row[j] = exp_fast(a);
+                }
+            }
+        });
+
+    TransportPlan {
+        plan,
+        iterations,
+        marginal_error,
+    }
+}
+
+/// The seed log-domain Sinkhorn, kept verbatim as the exactness oracle
+/// for the blocked solver (`embed/tests/prop_subspace.rs`) and as the
+/// `bench_subspace` baseline. Same marginals, same convergence criterion.
+///
+/// # Panics
+/// Panics if the cost matrix is empty or `epsilon <= 0`.
+pub fn sinkhorn_reference(cost: &DenseMatrix, opts: &SinkhornOptions) -> TransportPlan {
     let (n, m) = (cost.rows(), cost.cols());
     assert!(n > 0 && m > 0, "empty cost matrix");
     assert!(opts.epsilon > 0.0, "epsilon must be positive");
@@ -233,6 +594,94 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matches_reference_plan() {
+        // The real equivalence suite lives in embed/tests/prop_subspace.rs;
+        // this is the fast smoke version, on a shape that exercises both
+        // the aligned and ragged column-panel paths.
+        let c = DenseMatrix::from_fn(9, 300, |i, j| ((i * 7 + j * 3) % 13) as f64 / 13.0);
+        let opts = SinkhornOptions {
+            epsilon: 0.08,
+            max_iters: 400,
+            tolerance: 1e-9,
+        };
+        let fast = sinkhorn(&c, &opts);
+        let oracle = sinkhorn_reference(&c, &opts);
+        let worst = fast
+            .plan
+            .data()
+            .iter()
+            .zip(oracle.plan.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-10, "plans diverge by {worst:e}");
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let mut ws = SinkhornWorkspace::new();
+        let opts = SinkhornOptions::default();
+        // Different shapes through one workspace: buffers resize cleanly
+        // and results match fresh-workspace solves.
+        for (n, m) in [(4usize, 6usize), (8, 3), (4, 6)] {
+            let c = DenseMatrix::from_fn(n, m, |i, j| ((i * 5 + j * 11) % 7) as f64);
+            let reused = sinkhorn_with(&c, &opts, &mut ws);
+            let fresh = sinkhorn(&c, &opts);
+            assert_eq!(reused.plan.data(), fresh.plan.data());
+            assert_eq!(reused.iterations, fresh.iterations);
+        }
+    }
+
+    #[test]
+    fn warm_start_reaches_the_cold_fixed_point_faster() {
+        // An annealed ε sequence over a fixed cost matrix: each warm
+        // solve must land on the same plan as a cold solve at that ε
+        // (the fixed point is unique) while spending fewer sweeps on the
+        // later, slower rounds.
+        let c = DenseMatrix::from_fn(24, 24, |i, j| ((i * 7 + j * 3) % 13) as f64 / 13.0);
+        let mut ws = SinkhornWorkspace::new();
+        let mut warm_total = 0;
+        let mut cold_total = 0;
+        for k in 0..6 {
+            let opts = SinkhornOptions {
+                epsilon: 0.3 * 0.7f64.powi(k),
+                max_iters: 4000,
+                tolerance: 1e-9,
+            };
+            let warm = sinkhorn_warm_with(&c, &opts, &mut ws);
+            let cold = sinkhorn(&c, &opts);
+            let worst = warm
+                .plan
+                .data()
+                .iter()
+                .zip(cold.plan.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(worst < 1e-7, "plans diverge by {worst:e} at round {k}");
+            warm_total += warm.iterations;
+            cold_total += cold.iterations;
+        }
+        assert!(
+            warm_total < cold_total,
+            "warm starts took {warm_total} sweeps vs {cold_total} cold"
+        );
+    }
+
+    #[test]
+    fn warm_start_falls_back_cold_on_shape_change() {
+        let mut ws = SinkhornWorkspace::new();
+        let opts = SinkhornOptions::default();
+        let a = DenseMatrix::from_fn(5, 6, |i, j| ((i + 2 * j) % 5) as f64);
+        let _ = sinkhorn_warm_with(&a, &opts, &mut ws);
+        // New column count: carried potentials are unusable; the solve
+        // must silently cold-start and match a fresh workspace exactly.
+        let b = DenseMatrix::from_fn(4, 9, |i, j| ((i * 3 + j) % 7) as f64);
+        let warm = sinkhorn_warm_with(&b, &opts, &mut ws);
+        let fresh = sinkhorn(&b, &opts);
+        assert_eq!(warm.plan.data(), fresh.plan.data());
+        assert_eq!(warm.iterations, fresh.iterations);
+    }
+
+    #[test]
     #[should_panic(expected = "epsilon")]
     fn rejects_nonpositive_epsilon() {
         let c = uniform_cost(2);
@@ -240,6 +689,20 @@ mod tests {
             &c,
             &SinkhornOptions {
                 epsilon: 0.0,
+                max_iters: 10,
+                tolerance: 1e-6,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn reference_rejects_nonpositive_epsilon() {
+        let c = uniform_cost(2);
+        let _ = sinkhorn_reference(
+            &c,
+            &SinkhornOptions {
+                epsilon: -1.0,
                 max_iters: 10,
                 tolerance: 1e-6,
             },

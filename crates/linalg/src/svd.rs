@@ -46,24 +46,35 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
         };
     }
 
-    // Work on columns of W = A (copied); accumulate V as product of
-    // rotations. After convergence the columns of W are σᵢ uᵢ.
-    let mut w = a.clone();
-    let mut v = DenseMatrix::identity(n);
+    // Work on the *rows* of Wᵀ = Aᵀ (and Vᵀ): a rotation then reads and
+    // writes two contiguous `n`-long slices instead of two `n`-strided
+    // column walks, where every element of a 128-column matrix lands on
+    // its own cache line. Pure layout change — element order inside each
+    // loop, and thus every floating-point result, is identical to the
+    // column-major formulation. After convergence row `j` of Wᵀ is
+    // `σⱼ uⱼ`.
+    let mut wt = a.transpose();
+    let mut vt = DenseMatrix::identity(n);
     const TOL: f64 = 1e-14;
     const MAX_SWEEPS: usize = 60;
+
+    // Two disjoint rows of a row-major square matrix, borrowed mutably.
+    fn row_pair_mut(m: &mut DenseMatrix, p: usize, q: usize, n: usize) -> (&mut [f64], &mut [f64]) {
+        debug_assert!(p < q);
+        let (lo, hi) = m.data_mut().split_at_mut(q * n);
+        (&mut lo[p * n..(p + 1) * n], &mut hi[..n])
+    }
 
     for _sweep in 0..MAX_SWEEPS {
         let mut off_diagonal = false;
         for p in 0..n {
             for q in (p + 1)..n {
-                // Gram entries over column pair (p, q).
+                let (rp, rq) = row_pair_mut(&mut wt, p, q, n);
+                // Gram entries over column pair (p, q) of W.
                 let mut app = 0.0;
                 let mut aqq = 0.0;
                 let mut apq = 0.0;
-                for i in 0..n {
-                    let wp = w[(i, p)];
-                    let wq = w[(i, q)];
+                for (&wp, &wq) in rp.iter().zip(rq.iter()) {
                     app += wp * wp;
                     aqq += wq * wq;
                     apq += wp * wq;
@@ -81,15 +92,16 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
                 };
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                for i in 0..n {
-                    let wp = w[(i, p)];
-                    let wq = w[(i, q)];
-                    w[(i, p)] = c * wp - s * wq;
-                    w[(i, q)] = s * wp + c * wq;
-                    let vp = v[(i, p)];
-                    let vq = v[(i, q)];
-                    v[(i, p)] = c * vp - s * vq;
-                    v[(i, q)] = s * vp + c * vq;
+                for (wp, wq) in rp.iter_mut().zip(rq.iter_mut()) {
+                    let (a, b) = (*wp, *wq);
+                    *wp = c * a - s * b;
+                    *wq = s * a + c * b;
+                }
+                let (vp, vq) = row_pair_mut(&mut vt, p, q, n);
+                for (vp, vq) in vp.iter_mut().zip(vq.iter_mut()) {
+                    let (a, b) = (*vp, *vq);
+                    *vp = c * a - s * b;
+                    *vq = s * a + c * b;
                 }
             }
         }
@@ -102,7 +114,7 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
     let mut order: Vec<usize> = (0..n).collect();
     let mut sigma_raw = vec![0.0; n];
     for (j, s) in sigma_raw.iter_mut().enumerate() {
-        *s = (0..n).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt();
+        *s = wt.row(j).iter().map(|&w| w * w).sum::<f64>().sqrt();
     }
     order.sort_by(|&x, &y| {
         sigma_raw[y]
@@ -120,13 +132,13 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
             // Zero singular value ⇒ leave the U column as an arbitrary unit
             // vector (e_j); any orthonormal completion is valid.
             u[(i, new_j)] = if s > 0.0 {
-                w[(i, old_j)] / s
+                wt[(old_j, i)] / s
             } else if i == new_j {
                 1.0
             } else {
                 0.0
             };
-            vv[(i, new_j)] = v[(i, old_j)];
+            vv[(i, new_j)] = vt[(old_j, i)];
         }
     }
     Svd { u, sigma, v: vv }

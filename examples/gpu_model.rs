@@ -33,7 +33,8 @@ fn main() {
     };
     let y1 = cfg.embedding.embed(&inst.a);
     let y2 = cfg.embedding.with_seed_offset(1).embed(&inst.b);
-    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace);
+    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace)
+        .expect("pipeline-produced embeddings always match their graphs");
     let k = cfg.resolve_k(inst.a.num_vertices(), inst.b.num_vertices());
     let l = build_alignment_graph(&sub.ya, &sub.yb, k);
     let s = OverlapMatrix::build(&inst.a, &inst.b, &l);

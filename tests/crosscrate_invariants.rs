@@ -32,7 +32,7 @@ fn front_half(
     };
     let y1 = cfg.embedding.embed(&inst.a);
     let y2 = cfg.embedding.with_seed_offset(1).embed(&inst.b);
-    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace);
+    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace).expect("valid inputs");
     let l = build_alignment_graph(&sub.ya, &sub.yb, k);
     (inst.a.clone(), inst.b.clone(), l, inst)
 }
@@ -141,7 +141,7 @@ fn sparsification_monotonicity() {
     let cfg = AlignerConfig::default();
     let y1 = cfg.embedding.embed(&inst.a);
     let y2 = cfg.embedding.with_seed_offset(1).embed(&inst.b);
-    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace);
+    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace).expect("valid inputs");
     let mut last_edges = 0;
     let mut last_survivors = 0;
     for k in [2, 4, 8, 16] {

@@ -29,7 +29,7 @@ fn pipeline_structures(n: usize, seed: u64, k: usize) -> (BipartiteGraph, Overla
     };
     let y1 = cfg.embedding.embed(&inst.a);
     let y2 = cfg.embedding.with_seed_offset(1).embed(&inst.b);
-    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace);
+    let sub = align_subspaces(&y1, &y2, &inst.a, &inst.b, &cfg.subspace).expect("valid inputs");
     let l = build_alignment_graph(&sub.ya, &sub.yb, k);
     let s = OverlapMatrix::build(&inst.a, &inst.b, &l);
     (l, s)
