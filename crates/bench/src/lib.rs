@@ -38,6 +38,7 @@
 //! scale-stable; EXPERIMENTS.md records the scale used for the checked-in
 //! numbers. Set `CUALIGN_SCALE=1.0` for paper-size runs.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use cualign::{Aligner, AlignerConfig, AlignmentSession, PaperInput, SparsityChoice};

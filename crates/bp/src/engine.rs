@@ -441,7 +441,8 @@ impl<'a> BpEngine<'a> {
             }
         }
         let (best_matching, best_score, best_weight, best_overlaps, best_iteration) =
-            best.expect("max_iters > 0 guarantees at least one rounding");
+            // lint: allow(no-panic): `best` is seeded with the iteration-0 rounding above, so it is always Some
+            best.expect("seeded with the iteration-0 rounding");
         BpOutcome {
             best_matching,
             best_score,

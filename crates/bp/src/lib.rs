@@ -33,6 +33,7 @@
 //! [`BpConfig::warm_start`], seeding the damped messages from the
 //! band's projection confidences instead of from zero.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

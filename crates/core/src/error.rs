@@ -67,6 +67,15 @@ pub enum AlignError {
     /// time; this variant carries the shape mismatches only a live
     /// embedding can exhibit.
     Subspace(cualign_embed::SubspaceError),
+    /// A session-cache invariant broke: a stage artifact was absent
+    /// immediately after its `ensure` step. This is a bug in
+    /// [`crate::AlignmentSession`]'s bookkeeping, never a caller error;
+    /// it exists so the library reports the impossible as a typed error
+    /// instead of panicking mid-run (the no-panic contract).
+    Internal {
+        /// Name of the missing stage artifact.
+        stage: &'static str,
+    },
 }
 
 impl From<cualign_embed::SubspaceError> for AlignError {
@@ -103,6 +112,11 @@ impl fmt::Display for AlignError {
             }
             AlignError::Io { path, reason } => write!(f, "{path}: {reason}"),
             AlignError::Subspace(e) => write!(f, "subspace alignment: {e}"),
+            AlignError::Internal { stage } => write!(
+                f,
+                "internal session-cache error: {stage} artifact missing after its ensure step \
+                 (this is a bug in cualign, please report it)"
+            ),
         }
     }
 }

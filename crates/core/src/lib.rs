@@ -47,6 +47,7 @@
 //! baseline, alignment [`scoring`], and the paper's named [`inputs`].
 //! `docs/ARCHITECTURE.md` has the full stage diagram.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;

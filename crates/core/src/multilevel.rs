@@ -361,11 +361,10 @@ fn build_band(
                 return Vec::new();
             }
             let mut cands: Vec<(VertexId, f64)> = votes.into_iter().collect();
-            cands.sort_unstable_by(|x, y| {
-                y.1.partial_cmp(&x.1)
-                    .expect("votes are finite")
-                    .then(x.0.cmp(&y.0))
-            });
+            // total_cmp: votes are sums of constants so NaN cannot occur
+            // today, but the total order keeps this sort panic-free and
+            // deterministic if a weighted variant ever feeds it floats.
+            cands.sort_unstable_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
             let max_vote = cands[0].1;
             let seeds = seeds_of(u);
             let cap = band_k.max(1);

@@ -207,6 +207,17 @@ struct Cached<T> {
     value: T,
 }
 
+/// The cached artifact for a stage that has just been ensured. Every
+/// `ensure_*` step leaves its slot populated, so a `None` here is a
+/// session bookkeeping bug — reported as [`AlignError::Internal`]
+/// rather than panicking (the library's no-panic contract).
+fn cached<'a, T>(
+    slot: &'a Option<Cached<T>>,
+    stage: &'static str,
+) -> Result<&'a Cached<T>, AlignError> {
+    slot.as_ref().ok_or(AlignError::Internal { stage })
+}
+
 /// How many times each pipeline stage has been (re)built over a
 /// session's lifetime. Stage accessors and [`AlignmentSession::align`]
 /// increment these only on actual builds, so a sweep can assert that the
@@ -483,11 +494,7 @@ impl<'g> AlignmentSession<'g> {
     /// The stage-1 artifact: proximity embeddings of both graphs.
     pub fn embeddings(&mut self) -> Result<&Embeddings, AlignError> {
         self.ensure_embeddings();
-        Ok(&self
-            .embeddings
-            .as_ref()
-            .expect("embeddings just ensured")
-            .value)
+        Ok(&cached(&self.embeddings, "embeddings")?.value)
     }
 
     // -- stage 2: subspace alignment ----------------------------------
@@ -495,10 +502,7 @@ impl<'g> AlignmentSession<'g> {
     fn ensure_subspace(&mut self) -> Result<StageOutcome, AlignError> {
         let upstream = self.ensure_embeddings();
         let fp = subspace_fingerprint(
-            self.embeddings
-                .as_ref()
-                .expect("embeddings ensured")
-                .fingerprint,
+            cached(&self.embeddings, "embeddings")?.fingerprint,
             &self.cfg.subspace,
         );
         if upstream.hit && matches!(&self.subspace, Some(c) if c.fingerprint == fp) {
@@ -506,8 +510,8 @@ impl<'g> AlignmentSession<'g> {
             return Ok(StageOutcome::hit());
         }
         self.tele.subspace.misses.inc();
+        let emb = &cached(&self.embeddings, "embeddings")?.value;
         let (sub, seconds) = self.registry.timed("session.subspace", || {
-            let emb = &self.embeddings.as_ref().expect("embeddings ensured").value;
             align_subspaces(&emb.y1, &emb.y2, self.a, self.b, &self.cfg.subspace)
         });
         self.subspace = Some(Cached {
@@ -523,7 +527,7 @@ impl<'g> AlignmentSession<'g> {
     /// (Eq. 2).
     pub fn subspace(&mut self) -> Result<&SubspaceAlignment, AlignError> {
         self.ensure_subspace()?;
-        Ok(&self.subspace.as_ref().expect("subspace just ensured").value)
+        Ok(&cached(&self.subspace, "subspace")?.value)
     }
 
     // -- stage 3: sparsification --------------------------------------
@@ -531,10 +535,7 @@ impl<'g> AlignmentSession<'g> {
     fn ensure_sparse_l(&mut self) -> Result<StageOutcome, AlignError> {
         let upstream = self.ensure_subspace()?;
         let fp = sparsity_fingerprint(
-            self.subspace
-                .as_ref()
-                .expect("subspace ensured")
-                .fingerprint,
+            cached(&self.subspace, "subspace")?.fingerprint,
             &self.cfg.sparsity,
         );
         if upstream.hit && matches!(&self.sparse_l, Some(c) if c.fingerprint == fp) {
@@ -542,10 +543,10 @@ impl<'g> AlignmentSession<'g> {
             return Ok(StageOutcome::hit());
         }
         self.tele.sparsify.misses.inc();
-        let (l, seconds) = self.registry.timed("session.sparsify", || {
-            let sub = &self.subspace.as_ref().expect("subspace ensured").value;
-            self.cfg.build_l(&sub.ya, &sub.yb)
-        });
+        let sub = &cached(&self.subspace, "subspace")?.value;
+        let (l, seconds) = self
+            .registry
+            .timed("session.sparsify", || self.cfg.build_l(&sub.ya, &sub.yb));
         if l.num_edges() == 0 {
             return Err(AlignError::EmptySparsification);
         }
@@ -561,7 +562,7 @@ impl<'g> AlignmentSession<'g> {
     /// The stage-3 artifact: the sparsified candidate graph `L`.
     pub fn sparse_l(&mut self) -> Result<&BipartiteGraph, AlignError> {
         self.ensure_sparse_l()?;
-        Ok(&self.sparse_l.as_ref().expect("sparse_l just ensured").value)
+        Ok(&cached(&self.sparse_l, "sparse_l")?.value)
     }
 
     // -- stage 4: overlap matrix --------------------------------------
@@ -569,18 +570,14 @@ impl<'g> AlignmentSession<'g> {
     fn ensure_overlap(&mut self) -> Result<StageOutcome, AlignError> {
         let upstream = self.ensure_sparse_l()?;
         // S depends only on (a, b, L): its fingerprint is L's.
-        let fp = self
-            .sparse_l
-            .as_ref()
-            .expect("sparse_l ensured")
-            .fingerprint;
+        let fp = cached(&self.sparse_l, "sparse_l")?.fingerprint;
         if upstream.hit && matches!(&self.overlap, Some(c) if c.fingerprint == fp) {
             self.tele.overlap.hits.inc();
             return Ok(StageOutcome::hit());
         }
         self.tele.overlap.misses.inc();
+        let l = &cached(&self.sparse_l, "sparse_l")?.value;
         let (s, seconds) = self.registry.timed("session.overlap", || {
-            let l = &self.sparse_l.as_ref().expect("sparse_l ensured").value;
             OverlapMatrix::build(self.a, self.b, l)
         });
         self.overlap = Some(Cached {
@@ -595,7 +592,7 @@ impl<'g> AlignmentSession<'g> {
     /// The stage-4 artifact: the overlap matrix `S` (Algorithm 3).
     pub fn overlap(&mut self) -> Result<&OverlapMatrix, AlignError> {
         self.ensure_overlap()?;
-        Ok(&self.overlap.as_ref().expect("overlap just ensured").value)
+        Ok(&cached(&self.overlap, "overlap")?.value)
     }
 
     /// Both structural artifacts at once (`L`, `S`) — for callers that
@@ -603,8 +600,8 @@ impl<'g> AlignmentSession<'g> {
     pub fn artifacts(&mut self) -> Result<(&BipartiteGraph, &OverlapMatrix), AlignError> {
         self.ensure_overlap()?;
         Ok((
-            &self.sparse_l.as_ref().expect("sparse_l ensured").value,
-            &self.overlap.as_ref().expect("overlap just ensured").value,
+            &cached(&self.sparse_l, "sparse_l")?.value,
+            &cached(&self.overlap, "overlap")?.value,
         ))
     }
 
@@ -612,18 +609,15 @@ impl<'g> AlignmentSession<'g> {
 
     fn ensure_optimized(&mut self) -> Result<StageOutcome, AlignError> {
         let upstream = self.ensure_overlap()?;
-        let fp = bp_fingerprint(
-            self.overlap.as_ref().expect("overlap ensured").fingerprint,
-            &self.cfg.bp,
-        );
+        let fp = bp_fingerprint(cached(&self.overlap, "overlap")?.fingerprint, &self.cfg.bp);
         if upstream.hit && matches!(&self.optimized, Some(c) if c.fingerprint == fp) {
             self.tele.optimize.hits.inc();
             return Ok(StageOutcome::hit());
         }
         self.tele.optimize.misses.inc();
+        let l = &cached(&self.sparse_l, "sparse_l")?.value;
+        let s = &cached(&self.overlap, "overlap")?.value;
         let (value, seconds) = self.registry.timed("session.optimize", || {
-            let l = &self.sparse_l.as_ref().expect("sparse_l ensured").value;
-            let s = &self.overlap.as_ref().expect("overlap ensured").value;
             let bp = BpEngine::new(l, s, &self.cfg.bp).run();
             let mapping: Vec<Option<VertexId>> = (0..self.a.num_vertices())
                 .map(|u| bp.best_matching.mate_of_a(u as VertexId))
@@ -664,14 +658,9 @@ impl<'g> AlignmentSession<'g> {
             cache_hits: 5 - (self.counters.total_builds() - before_c.total_builds()),
         };
 
-        let l_edges = self
-            .sparse_l
-            .as_ref()
-            .expect("sparse_l ensured")
-            .value
-            .num_edges();
-        let s_nnz = self.overlap.as_ref().expect("overlap ensured").value.nnz();
-        let o = &self.optimized.as_ref().expect("optimized ensured").value;
+        let l_edges = cached(&self.sparse_l, "sparse_l")?.value.num_edges();
+        let s_nnz = cached(&self.overlap, "overlap")?.value.nnz();
+        let o = &cached(&self.optimized, "optimized")?.value;
         Ok(AlignmentResult {
             matching: o.bp.best_matching.clone(),
             mapping: o.mapping.clone(),

@@ -24,6 +24,7 @@
 //! stage runs only on the coarsest graphs, with `dim` clamped to the
 //! contracted size.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod netmf;

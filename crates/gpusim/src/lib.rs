@@ -39,6 +39,7 @@
 //! cost accounting for the §5–§6 hardware study and is only reached
 //! from the bench binaries, never from an ordinary `Aligner` run.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bp_gpu;

@@ -16,6 +16,10 @@ use serde::{Deserialize, Serialize};
 /// 32-lane warp"): {8, 16, 32, 64, 128, 256, 512}.
 pub const VIRTUAL_WARP_SIZES: [u32; 7] = [8, 16, 32, 64, 128, 256, 512];
 
+/// Largest permitted virtual-warp size (the saturation point for oversized
+/// work items).
+pub const MAX_VIRTUAL_WARP: u32 = VIRTUAL_WARP_SIZES[VIRTUAL_WARP_SIZES.len() - 1];
+
 /// One degree bin: work items whose size falls in `(lo, hi]`, processed with
 /// `virtual_warp` lanes each.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -65,18 +69,20 @@ impl Binning {
         // Overflow bin: items larger than the largest virtual warp; lanes
         // loop over the item in strips of 512.
         bins.push(Bin {
-            lo: *VIRTUAL_WARP_SIZES.last().expect("non-empty") as usize,
+            lo: MAX_VIRTUAL_WARP as usize,
             hi: usize::MAX,
-            virtual_warp: *VIRTUAL_WARP_SIZES.last().expect("non-empty"),
+            virtual_warp: MAX_VIRTUAL_WARP,
             items: Vec::new(),
         });
 
         for item in 0..num_items {
             let s = size(item);
+            // The overflow bin's `hi` is usize::MAX, so the search cannot
+            // miss; the fallback index is unreachable but keeps this total.
             let idx = bins
                 .iter()
                 .position(|b| s <= b.hi)
-                .expect("overflow bin catches everything");
+                .unwrap_or(bins.len() - 1);
             // Size-0 items land in bin 0 because 0 <= 8.
             bins[idx].items.push(item as u32);
         }
@@ -126,7 +132,7 @@ pub fn virtual_warp_for(work_size: usize) -> u32 {
             return vw;
         }
     }
-    *VIRTUAL_WARP_SIZES.last().expect("non-empty")
+    MAX_VIRTUAL_WARP
 }
 
 #[cfg(test)]

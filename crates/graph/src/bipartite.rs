@@ -80,17 +80,17 @@ impl BipartiteGraph {
         let mut edges: Vec<LEdge> = Vec::with_capacity(sorted.len());
         let mut weights: Vec<f64> = Vec::with_capacity(sorted.len());
         for (a, b, w) in sorted {
-            if let Some(last) = edges.last() {
-                if last.a == a && last.b == b {
-                    let lw = weights.last_mut().expect("weights track edges");
+            match (edges.last(), weights.last_mut()) {
+                (Some(last), Some(lw)) if last.a == a && last.b == b => {
                     if w > *lw {
                         *lw = w;
                     }
-                    continue;
+                }
+                _ => {
+                    edges.push(LEdge { a, b });
+                    weights.push(w);
                 }
             }
-            edges.push(LEdge { a, b });
-            weights.push(w);
         }
 
         let m = edges.len();

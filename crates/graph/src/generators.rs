@@ -68,6 +68,7 @@ pub fn barabasi_albert<R: Rng>(n: usize, k: usize, rng: &mut R) -> CsrGraph {
             let &v = endpoints
                 .as_slice()
                 .choose(rng)
+                // lint: allow(no-panic): the seed clique above pushes k*(k+1) endpoints before this loop runs, so the pool is never empty
                 .expect("endpoint pool never empty after seeding");
             if v != u {
                 picked.insert(v);

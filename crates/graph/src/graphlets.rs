@@ -60,6 +60,7 @@ fn credit_orbits(g: &CsrGraph, verts: &[VertexId], gdv: &mut [[u64; NUM_ORBITS]]
                         gdv[v as usize][if degs[i] == 2 { 2 } else { 1 }] += 1;
                     }
                 }
+                // lint: allow(no-panic): ESU only yields connected subgraphs, so a 3-set has 2 or 3 edges
                 _ => unreachable!("ESU only yields connected subgraphs"),
             }
         }
@@ -90,6 +91,7 @@ fn credit_orbits(g: &CsrGraph, verts: &[VertexId], gdv: &mut [[u64; NUM_ORBITS]]
                     (5, 2) => 12,                      // diamond degree-2
                     (5, 3) => 13,                      // diamond degree-3
                     (6, 3) => 14,                      // K4
+                    // lint: allow(no-panic): the match above enumerates every (edges, degree) pair a connected induced 4-graph admits
                     _ => unreachable!(
                         "impossible induced 4-graph: {edge_count} edges, deg {}",
                         degs[i]
@@ -98,6 +100,7 @@ fn credit_orbits(g: &CsrGraph, verts: &[VertexId], gdv: &mut [[u64; NUM_ORBITS]]
                 gdv[v as usize][orbit] += 1;
             }
         }
+        // lint: allow(no-panic): callers pass verts of length 3 or 4 only (ESU is invoked with k ∈ {3, 4})
         _ => unreachable!("only sizes 3 and 4 are enumerated"),
     }
 }

@@ -32,6 +32,7 @@
 //! that sparsification (§4.1) produces and BP/matching (§4.2–4.3)
 //! consume, and the synthetic instances of the evaluation (§6).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binning;

@@ -30,8 +30,8 @@ pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
         };
     }
     let degrees: Vec<usize> = (0..n as VertexId).map(|u| g.degree(u)).collect();
-    let min = *degrees.iter().min().expect("non-empty");
-    let max = *degrees.iter().max().expect("non-empty");
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let max = degrees.iter().copied().max().unwrap_or(0);
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
     let var = degrees
         .iter()

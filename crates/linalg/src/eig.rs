@@ -84,12 +84,9 @@ pub fn symmetric_eigen(m: &DenseMatrix) -> SymmetricEigen {
     // Sort by |λ| descending.
     let mut order: Vec<usize> = (0..n).collect();
     let raw: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
-    order.sort_by(|&x, &y| {
-        raw[y]
-            .abs()
-            .partial_cmp(&raw[x].abs())
-            .expect("finite eigenvalues")
-    });
+    // total_cmp: a total order even on NaN, so a non-converged iterate
+    // yields a deterministic (if meaningless) ordering, not a panic.
+    order.sort_by(|&x, &y| raw[y].abs().total_cmp(&raw[x].abs()));
     let mut values = Vec::with_capacity(n);
     let mut vectors = DenseMatrix::zeros(n, n);
     for (new_j, &old_j) in order.iter().enumerate() {

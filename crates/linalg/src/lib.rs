@@ -29,6 +29,7 @@
 //! transport solve of §4.1 (Eq. 2), and nothing downstream of the
 //! embeddings touches it.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dense;

@@ -506,15 +506,24 @@ pub fn sinkhorn_reference(cost: &DenseMatrix, opts: &SinkhornOptions) -> Transpo
 
 impl TransportPlan {
     /// Hard correspondence: for each row, the column with maximum mass.
+    ///
+    /// Total-order fold with an explicit NaN policy: a NaN entry never
+    /// beats the running best (`v > best` is false for NaN), so a
+    /// NaN-poisoned plan degrades to column 0 instead of panicking
+    /// mid-run the way `partial_cmp().expect()` used to.
     pub fn argmax_rows(&self) -> Vec<usize> {
         (0..self.plan.rows())
             .map(|i| {
                 let row = self.plan.row(i);
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("plan entries finite"))
-                    .map(|(j, _)| j)
-                    .expect("non-empty row")
+                let mut arg = 0usize;
+                let mut best = f64::NEG_INFINITY;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > best {
+                        arg = j;
+                        best = v;
+                    }
+                }
+                arg
             })
             .collect()
     }
@@ -526,6 +535,30 @@ mod tests {
 
     fn uniform_cost(n: usize) -> DenseMatrix {
         DenseMatrix::from_fn(n, n, |_, _| 1.0)
+    }
+
+    #[test]
+    fn argmax_rows_survives_nan_poisoned_plan() {
+        // Regression: the old partial_cmp().expect("plan entries finite")
+        // panicked the moment one plan entry went NaN. The total-order
+        // fold treats NaN as smaller than everything instead.
+        let mut plan = DenseMatrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.1 });
+        plan[(0, 1)] = f64::NAN;
+        plan[(2, 0)] = f64::NAN;
+        let tp = TransportPlan {
+            plan,
+            iterations: 0,
+            marginal_error: 0.0,
+        };
+        assert_eq!(tp.argmax_rows(), vec![0, 1, 2]);
+
+        // Fully poisoned rows degrade to column 0 rather than panicking.
+        let tp = TransportPlan {
+            plan: DenseMatrix::from_fn(2, 2, |_, _| f64::NAN),
+            iterations: 0,
+            marginal_error: 0.0,
+        };
+        assert_eq!(tp.argmax_rows(), vec![0, 0]);
     }
 
     #[test]

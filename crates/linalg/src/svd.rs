@@ -116,11 +116,10 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
     for (j, s) in sigma_raw.iter_mut().enumerate() {
         *s = wt.row(j).iter().map(|&w| w * w).sum::<f64>().sqrt();
     }
-    order.sort_by(|&x, &y| {
-        sigma_raw[y]
-            .partial_cmp(&sigma_raw[x])
-            .expect("singular values are finite")
-    });
+    // total_cmp: a total order even on NaN, so a degenerate input yields
+    // a deterministic ordering instead of a panic. Singular values are
+    // non-negative, so the descending order is unchanged.
+    order.sort_by(|&x, &y| sigma_raw[y].total_cmp(&sigma_raw[x]));
 
     let mut u = DenseMatrix::zeros(n, n);
     let mut vv = DenseMatrix::zeros(n, n);

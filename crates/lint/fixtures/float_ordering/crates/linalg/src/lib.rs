@@ -1,0 +1,25 @@
+//! Fixture: `float-ordering` NaN hazards.
+
+/// partial_cmp chained into unwrap inside a sorter — must fire.
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// partial_cmp chained into expect inside max_by — must fire.
+pub fn max_score(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+        .copied()
+}
+
+/// total_cmp is the sanctioned comparator — must not fire.
+pub fn safe_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// partial_cmp whose None is handled — must not fire.
+pub fn tolerant_max(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less))
+        .copied()
+}

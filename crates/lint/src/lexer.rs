@@ -1,0 +1,438 @@
+//! A minimal, lossy Rust lexer: just enough structure for contract
+//! linting.
+//!
+//! The lexer's one job is to make the rule engine immune to the classic
+//! text-scanning false positives: `unwrap` inside a string literal, a
+//! telemetry name inside a comment, `unsafe` in a doc sentence. It
+//! understands line/block comments (nested), cooked and raw strings
+//! (any `#` depth), byte strings, char literals vs. lifetimes, raw
+//! identifiers, and numeric literals — and deliberately nothing more.
+//! Everything else is a single-character punctuation token.
+//!
+//! Comments are not discarded: they are captured on the side so the
+//! engine can parse `// lint: allow(<rule>): <reason>` directives from
+//! them (see [`crate::source`]).
+
+/// One lexed token. Only identifiers and string literals carry text;
+/// the rules never need the content of anything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `fn`, `r#type`, ...).
+    Ident(String),
+    /// String literal *content* (quotes and raw-string hashes stripped,
+    /// escape sequences left verbatim).
+    Str(String),
+    /// Character literal (`'x'`, `'\n'`). Content is irrelevant.
+    Char,
+    /// Lifetime (`'a`). Distinguished from [`Tok::Char`] so `'a'` in a
+    /// generic list never eats the rest of the file.
+    Lifetime,
+    /// Numeric literal. Content is irrelevant.
+    Num,
+    /// Any other single character (`.`, `(`, `!`, `#`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-indexed source line of the token's first character.
+    pub line: usize,
+}
+
+/// A comment (line or block) with its starting line. `text` excludes
+/// the `//` / `/*` markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed source line the comment starts on.
+    pub line: usize,
+    /// Comment body without the opening marker.
+    pub text: String,
+}
+
+/// The full lex of one file: code tokens plus captured comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Never fails: unterminated constructs simply run to end
+/// of file, which is the right degradation for a linter (rustc will
+/// reject the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Advances past `chars[from..to)` counting newlines.
+    let count_lines = |chars: &[char], from: usize, to: usize| -> usize {
+        chars[from..to].iter().filter(|&&c| c == '\n').count()
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let peek = |k: usize| chars.get(i + k).copied();
+
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && peek(1) == Some('/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && peek(1) == Some('*') {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = if depth == 0 { j - 2 } else { j };
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..end].iter().collect(),
+            });
+            line += count_lines(&chars, i, j);
+            i = j;
+            continue;
+        }
+
+        // Raw strings and raw identifiers: r"..."  r#"..."#  r#ident.
+        // Byte strings: b"..."  br#"..."#  b'x'.
+        if (c == 'r' || c == 'b') && matches!(peek(1), Some('"' | '#' | '\''))
+            || c == 'b' && peek(1) == Some('r')
+        {
+            // Work out the shape before committing.
+            let mut j = i + 1;
+            let raw = c == 'r' || (c == 'b' && peek(1) == Some('r'));
+            if c == 'b' && peek(1) == Some('r') {
+                j += 1;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    // Raw (byte) string: scan for `"` + hashes `#`s.
+                    let start_line = line;
+                    let content_start = j + 1;
+                    let mut k = content_start;
+                    let mut closed = false;
+                    while k < chars.len() {
+                        if chars[k] == '"' {
+                            let mut h = 0usize;
+                            while chars.get(k + 1 + h) == Some(&'#') {
+                                h += 1;
+                            }
+                            if h >= hashes {
+                                // Close with exactly `hashes` hashes.
+                                line += count_lines(&chars, i, k + 1 + hashes);
+                                out.tokens.push(Token {
+                                    tok: Tok::Str(chars[content_start..k].iter().collect()),
+                                    line: start_line,
+                                });
+                                i = k + 1 + hashes;
+                                closed = true;
+                                break;
+                            }
+                            k += 1 + h;
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    if !closed {
+                        // Unterminated: consume the rest.
+                        line += count_lines(&chars, i, chars.len());
+                        i = chars.len();
+                    }
+                    continue;
+                }
+                if c == 'r'
+                    && hashes == 1
+                    && chars.get(j).map(|&ch| is_ident_start(ch)) == Some(true)
+                {
+                    // Raw identifier r#ident.
+                    let start = j;
+                    let mut k = start;
+                    while k < chars.len() && is_ident_continue(chars[k]) {
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(chars[start..k].iter().collect()),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // `r` or `b` followed by `#` that isn't a raw string or
+                // raw ident: fall through to plain ident below.
+            } else if c == 'b' && peek(1) == Some('\'') {
+                // Byte char literal b'x'.
+                i += 1;
+                // Handled by the char-literal branch on the next pass:
+                // simplest is to lex it inline here.
+                let (next, lines) = scan_char_literal(&chars, i);
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line,
+                });
+                line += lines;
+                i = next;
+                continue;
+            } else if c == 'b' && peek(1) == Some('"') {
+                // Cooked byte string.
+                let (tok, next, lines) = scan_cooked_string(&chars, i + 1);
+                out.tokens.push(Token { tok, line });
+                line += lines;
+                i = next;
+                continue;
+            }
+        }
+
+        // Cooked strings.
+        if c == '"' {
+            let (tok, next, lines) = scan_cooked_string(&chars, i);
+            out.tokens.push(Token { tok, line });
+            line += lines;
+            i = next;
+            continue;
+        }
+
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let next = peek(1);
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_start(n) => peek(2) == Some('\''),
+                Some(_) => true, // '(' etc. can only be a char literal
+                None => false,
+            };
+            if is_char {
+                let (next_i, lines) = scan_char_literal(&chars, i);
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line,
+                });
+                line += lines;
+                i = next_i;
+            } else {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime,
+                    line,
+                });
+                i = j.max(i + 1);
+            }
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() && (is_ident_continue(chars[j])) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Num,
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(chars[i..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Everything else: one punctuation character.
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans a cooked string starting at the opening quote `chars[start]`.
+/// Returns `(token, index past the closing quote, newlines consumed)`.
+fn scan_cooked_string(chars: &[char], start: usize) -> (Tok, usize, usize) {
+    debug_assert_eq!(chars[start], '"');
+    let mut j = start + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => {
+                let content: String = chars[start + 1..j].iter().collect();
+                let lines = chars[start..j].iter().filter(|&&c| c == '\n').count();
+                return (Tok::Str(content), j + 1, lines);
+            }
+            _ => j += 1,
+        }
+    }
+    let content: String = chars[start + 1..].iter().collect();
+    let lines = chars[start..].iter().filter(|&&c| c == '\n').count();
+    (Tok::Str(content), chars.len(), lines)
+}
+
+/// Scans a char literal starting at the opening quote `chars[start]`.
+/// Returns `(index past the closing quote, newlines consumed)`.
+fn scan_char_literal(chars: &[char], start: usize) -> (usize, usize) {
+    debug_assert_eq!(chars[start], '\'');
+    let mut j = start + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return (j + 1, 0),
+            '\n' => return (j, 1), // malformed; bail at the newline
+            _ => j += 1,
+        }
+    }
+    (chars.len(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strs(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_in_strings_and_comments_are_invisible() {
+        let src = r#"
+            // unwrap in a comment
+            /* expect in a /* nested */ block */
+            let x = "unwrap expect panic";
+            y.real_call();
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"real_call".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r##"let a = r#"quote " inside"#; let b = r"plain";"##;
+        assert_eq!(
+            strs(src),
+            vec!["quote \" inside".to_string(), "plain".to_string()]
+        );
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }";
+        let lexed = lex(src);
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// lint: allow(no-panic): fine\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(no-panic)"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate() {
+        let src = r#"let s = "a \" b"; t.call();"#;
+        assert_eq!(strs(src), vec!["a \\\" b".to_string()]);
+        assert!(idents(src).contains(&"call".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let src = "let s = \"line\nbreak\";\nafter();";
+        let lexed = lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("after".into()))
+            .unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! `cualign-lint` — zero-dependency static analysis for the cuAlign
+//! workspace.
+//!
+//! The workspace's performance story rests on conventions nothing in
+//! the compiler enforces: fast kernels keep pinned reference oracles,
+//! telemetry names match the DESIGN.md §5 map, library crates never
+//! panic on caller-reachable paths, and the `unsafe` count stays zero.
+//! This crate is the machine checker for those contracts. Like
+//! `crates/telemetry`, it is std-only and offline-compatible: a
+//! hand-rolled Rust lexer ([`lexer`]) feeds a token-pattern rule engine
+//! ([`rules`]), exposed as the `cualign-lint` binary that walks the
+//! workspace and emits `file:line: [rule] message` diagnostics with a
+//! non-zero exit on violations.
+//!
+//! ## Rules
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | `no-panic` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code of the algorithmic crates |
+//! | `float-ordering` | no `partial_cmp` chained into `unwrap`/`expect` or fed to sort/max/min comparators (NaN hazard) |
+//! | `oracle-pinning` | `docs/oracle_manifest.txt` rows (kernel, oracle, property test) exist and the test references both symbols |
+//! | `telemetry-names` | registered instrument/span names and `docs/telemetry_names.txt` agree bidirectionally |
+//! | `unsafe-hygiene` | `unsafe` and `static mut` are forbidden workspace-wide |
+//!
+//! ## Escape hatch
+//!
+//! A violation that encodes a real, stated invariant can be annotated
+//! on the preceding line (or as a trailing comment):
+//!
+//! ```text
+//! // lint: allow(no-panic): pool is seeded with >= 1 endpoint above
+//! ```
+//!
+//! The reason is mandatory: a reasonless `allow` suppresses nothing and
+//! is itself reported (rule `lint-allow`).
+
+#![deny(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::fmt;
+use std::path::Path;
+
+/// Every rule name, in diagnostic-output order.
+pub const ALL_RULES: &[&str] = &[
+    rules::no_panic::RULE,
+    rules::float_ordering::RULE,
+    rules::oracle_pinning::RULE,
+    rules::telemetry_names::RULE,
+    rules::unsafe_hygiene::RULE,
+];
+
+/// One finding: a file, a line (0 = whole file / manifest), the rule
+/// that fired, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-root-relative path, `/`-separated.
+    pub file: String,
+    /// 1-indexed line; 0 for file-level findings.
+    pub line: usize,
+    /// Rule name.
+    pub rule: &'static str,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Runs `rules` (names from [`ALL_RULES`]) over the workspace at
+/// `root`. Returns diagnostics sorted by `(file, line, rule)`.
+/// Directive hygiene (reasonless or unknown-rule `lint: allow`s, rule
+/// `lint-allow`) is always checked.
+pub fn run(root: &Path, enabled: &[&str]) -> Result<Vec<Diagnostic>, String> {
+    for r in enabled {
+        if !ALL_RULES.contains(r) {
+            return Err(format!(
+                "unknown rule `{r}` (known: {})",
+                ALL_RULES.join(", ")
+            ));
+        }
+    }
+    let files = walk::load_workspace(root)?;
+    let on = |r: &str| enabled.contains(&r);
+    let mut diags = Vec::new();
+
+    for f in &files {
+        if on(rules::no_panic::RULE) {
+            diags.extend(rules::no_panic::check(f));
+        }
+        if on(rules::float_ordering::RULE) {
+            diags.extend(rules::float_ordering::check(f));
+        }
+        if on(rules::unsafe_hygiene::RULE) {
+            diags.extend(rules::unsafe_hygiene::check(f));
+        }
+        for a in &f.allows {
+            if a.reason.is_empty() {
+                diags.push(Diagnostic {
+                    file: f.rel.clone(),
+                    line: a.line,
+                    rule: "lint-allow",
+                    message: format!(
+                        "allow({}) without a reason; write `// lint: allow({}): <why>`",
+                        a.rule, a.rule
+                    ),
+                });
+            } else if !ALL_RULES.contains(&a.rule.as_str()) {
+                diags.push(Diagnostic {
+                    file: f.rel.clone(),
+                    line: a.line,
+                    rule: "lint-allow",
+                    message: format!("allow({}) names an unknown rule", a.rule),
+                });
+            }
+        }
+    }
+    if on(rules::telemetry_names::RULE) {
+        diags.extend(rules::telemetry_names::check(&files, root));
+    }
+    if on(rules::oracle_pinning::RULE) {
+        diags.extend(rules::oracle_pinning::check(&files, root));
+    }
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags.dedup();
+    Ok(diags)
+}
+
+/// The sorted, deduplicated set of normalized telemetry names the
+/// workspace registers — the generator for `docs/telemetry_names.txt`
+/// (`cualign-lint --dump-telemetry`).
+pub fn dump_telemetry(root: &Path) -> Result<Vec<String>, String> {
+    let files = walk::load_workspace(root)?;
+    let mut sink = Vec::new();
+    let mut names: Vec<String> = files
+        .iter()
+        .flat_map(|f| rules::telemetry_names::extract(f, &mut sink))
+        .map(|(name, _)| name)
+        .collect();
+    names.sort();
+    names.dedup();
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let err = run(Path::new("."), &["no-such-rule"]).unwrap_err();
+        assert!(err.contains("unknown rule"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The `cualign-lint` binary: walk the workspace, run the contract
+//! rules, print diagnostics, exit non-zero on violations.
+//!
+//! ```text
+//! cualign-lint [--root PATH] [--rules r1,r2,...] [--dump-telemetry]
+//! ```
+//!
+//! With no `--root`, the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` that declares
+//! `[workspace]`. `--dump-telemetry` prints the extracted telemetry
+//! names (the generator for `docs/telemetry_names.txt`) and exits.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut rules: Option<Vec<String>> = None;
+    let mut dump = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--rules" => match args.next() {
+                Some(list) => rules = Some(list.split(',').map(|s| s.trim().to_string()).collect()),
+                None => return usage("--rules needs a comma-separated list"),
+            },
+            "--dump-telemetry" => dump = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: cualign-lint [--root PATH] [--rules r1,r2,...] [--dump-telemetry]\n\
+                     rules: {}",
+                    lint::ALL_RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(find_root)) {
+        Some(r) => r,
+        None => return usage("no workspace root found (run inside the repo or pass --root)"),
+    };
+
+    if dump {
+        return match lint::dump_telemetry(&root) {
+            Ok(names) => {
+                println!(
+                    "# Telemetry-name manifest — regenerate with `cualign-lint --dump-telemetry`."
+                );
+                println!("# `*` marks a dynamic format!-built segment. DESIGN.md §5 documents each name.");
+                for n in names {
+                    println!("{n}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cualign-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let rule_refs: Vec<&str> = match &rules {
+        Some(list) => list.iter().map(|s| s.as_str()).collect(),
+        None => lint::ALL_RULES.to_vec(),
+    };
+    match lint::run(&root, &rule_refs) {
+        Ok(diags) if diags.is_empty() => {
+            println!(
+                "cualign-lint: clean ({} rules over {})",
+                rule_refs.len(),
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("cualign-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cualign-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cualign-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

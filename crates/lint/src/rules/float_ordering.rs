@@ -1,0 +1,165 @@
+//! `float-ordering`: NaN-hazardous float comparisons.
+//!
+//! `partial_cmp` on floats returns `None` for NaN. Chaining it into
+//! `unwrap`/`expect` turns one poisoned kernel output into a panic in
+//! the middle of an alignment run (the Sinkhorn hot path did exactly
+//! this), and feeding it to a sort comparator makes the sort order —
+//! and with `sort_unstable`, potentially the whole run — undefined.
+//! The fix is almost always `f64::total_cmp`, which is a total order,
+//! or an explicit fold with a stated NaN policy.
+
+use super::{ident, is_punct, matching_paren};
+use crate::source::{FileKind, SourceFile};
+use crate::Diagnostic;
+use std::collections::HashSet;
+
+/// Rule name as written in diagnostics and allow directives.
+pub const RULE: &str = "float-ordering";
+
+/// Comparator-taking methods whose closure must not rely on
+/// `partial_cmp`.
+const SORTERS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "select_nth_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+/// Runs the rule over one file. Scope matches `no-panic`: library code
+/// of the algorithmic crates.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.kind != FileKind::Lib || !super::no_panic::CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    let mut flagged: HashSet<usize> = HashSet::new();
+
+    for i in 0..toks.len() {
+        let Some(name) = ident(toks.get(i)) else {
+            continue;
+        };
+        if !is_punct(toks.get(i.wrapping_sub(1)), '.') || !is_punct(toks.get(i + 1), '(') {
+            continue;
+        }
+        if SORTERS.contains(&name) {
+            // Scan the comparator argument for partial_cmp.
+            let close = matching_paren(toks, i + 1);
+            for j in (i + 2)..close {
+                if ident(toks.get(j)) == Some("partial_cmp") && flagged.insert(j) {
+                    if handles_none(toks, j) {
+                        continue;
+                    }
+                    let line = toks[j].line;
+                    if file.is_test_line(line) || file.allowed(RULE, line) {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        file: file.rel.clone(),
+                        line,
+                        rule: RULE,
+                        message: format!(
+                            "partial_cmp inside {name} comparator is a NaN hazard; \
+                             use f64::total_cmp or a comparator with an explicit NaN policy"
+                        ),
+                    });
+                }
+            }
+        } else if name == "partial_cmp" && !flagged.contains(&i) {
+            // .partial_cmp(x).unwrap() / .expect(...).
+            let close = matching_paren(toks, i + 1);
+            if is_punct(toks.get(close + 1), '.')
+                && matches!(ident(toks.get(close + 2)), Some("unwrap" | "expect"))
+            {
+                let line = toks[i].line;
+                if file.is_test_line(line) || file.allowed(RULE, line) {
+                    continue;
+                }
+                flagged.insert(i);
+                out.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line,
+                    rule: RULE,
+                    message: "partial_cmp chained into unwrap/expect panics on NaN; \
+                              use f64::total_cmp or fold with an explicit NaN policy"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the `partial_cmp` call starting at token `i` is chained
+/// into a method that states a policy for the `None` case —
+/// `unwrap_or(Ordering::Less)` and friends are exactly the "comparator
+/// with an explicit NaN policy" the diagnostic asks for.
+fn handles_none(toks: &[crate::lexer::Token], i: usize) -> bool {
+    if !is_punct(toks.get(i + 1), '(') {
+        return false;
+    }
+    let close = matching_paren(toks, i + 1);
+    is_punct(toks.get(close + 1), '.')
+        && matches!(
+            ident(toks.get(close + 2)),
+            Some("unwrap_or" | "unwrap_or_else" | "unwrap_or_default" | "map_or" | "map_or_else")
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/linalg/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_partial_cmp_unwrap_chain() {
+        let src = "fn f() { let o = a.partial_cmp(&b).unwrap(); }";
+        assert_eq!(diags(src).len(), 1);
+        let src = "fn f() { let o = a.partial_cmp(&b).expect(\"finite\"); }";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn flags_partial_cmp_in_sort_comparators() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        // One finding: the comparator hit subsumes the chain hit.
+        assert_eq!(diags(src).len(), 1);
+        let src = "fn f() { let m = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn total_cmp_and_bare_partial_cmp_are_fine() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(diags(src).is_empty());
+        // Un-chained partial_cmp handled with match is the correct form.
+        let src = "fn f() { match a.partial_cmp(&b) { Some(o) => o, None => Ordering::Less } }";
+        assert!(diags(src).is_empty());
+        // A PartialOrd impl defines partial_cmp; it does not call it.
+        let src =
+            "impl PartialOrd for X { fn partial_cmp(&self, o: &X) -> Option<Ordering> { None } }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn explicit_none_policy_in_sorter_is_fine() {
+        let src = "fn f() { let m = xs.iter()\
+                   .max_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Less)); }";
+        assert!(diags(src).is_empty());
+        // ...but a bare partial_cmp in a comparator still fires.
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(diags(src).len(), 1);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f() {\n// lint: allow(float-ordering): inputs pre-filtered finite\n\
+                   let o = a.partial_cmp(&b).unwrap();\n}";
+        assert!(diags(src).is_empty());
+    }
+}

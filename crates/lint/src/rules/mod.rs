@@ -1,0 +1,78 @@
+//! The rule implementations and the token-pattern helpers they share.
+
+pub mod float_ordering;
+pub mod no_panic;
+pub mod oracle_pinning;
+pub mod telemetry_names;
+pub mod unsafe_hygiene;
+
+use crate::lexer::{Tok, Token};
+
+/// Is the token the punctuation character `c`?
+pub(crate) fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t, Some(tok) if tok.tok == Tok::Punct(c))
+}
+
+/// The identifier text of a token, if it is one.
+pub(crate) fn ident(t: Option<&Token>) -> Option<&str> {
+    match t {
+        Some(Token {
+            tok: Tok::Ident(s), ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Given `toks[open]` = `(`, returns the index of the matching `)`
+/// (or `toks.len()` if unbalanced). Tracks all three bracket kinds so
+/// nested closures, arrays, and blocks inside the call do not confuse
+/// the match.
+pub(crate) fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    let mut brace = 0isize;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        match t.tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => {
+                paren -= 1;
+                if paren == 0 && bracket <= 0 && brace <= 0 {
+                    return j;
+                }
+            }
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') => brace += 1,
+            Tok::Punct('}') => brace -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Token range of the *first argument* of a call whose `(` sits at
+/// `open`: `(start, end)` exclusive of the delimiters, stopping at the
+/// first comma that is at the call's own nesting level.
+pub(crate) fn first_arg_range(toks: &[Token], open: usize) -> (usize, usize) {
+    let close = matching_paren(toks, open);
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    let mut brace = 0isize;
+    for (j, t) in toks.iter().enumerate().take(close).skip(open) {
+        match t.tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') => brace += 1,
+            Tok::Punct('}') => brace -= 1,
+            Tok::Punct(',') if paren == 1 && bracket == 0 && brace == 0 => {
+                return (open + 1, j);
+            }
+            _ => {}
+        }
+    }
+    (open + 1, close)
+}

@@ -1,0 +1,109 @@
+//! `no-panic`: library code must not contain panicking paths.
+//!
+//! The PR-5 fallible-builder migration promised that every error a
+//! caller can hit surfaces as a typed `AlignError` / `SubspaceError`,
+//! not a panic. This rule keeps that promise honest: in the library
+//! source of the algorithmic crates, `.unwrap()`, `.expect(...)`, and
+//! the `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros
+//! are forbidden. Tests, benches, binaries, and examples may panic
+//! freely, and a genuinely-unreachable site can carry
+//! `// lint: allow(no-panic): <invariant>` — with a mandatory reason.
+
+use super::{ident, is_punct};
+use crate::source::{FileKind, SourceFile};
+use crate::Diagnostic;
+
+/// Rule name as written in diagnostics and allow directives.
+pub const RULE: &str = "no-panic";
+
+/// Crates whose `src/` (minus bins) is held to the no-panic contract.
+pub const CRATES: &[&str] = &[
+    "core", "embed", "linalg", "sparsify", "bp", "matching", "overlap", "graph",
+];
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.kind != FileKind::Lib || !CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Some(name) = ident(toks.get(i)) else {
+            continue;
+        };
+        let line = toks[i].line;
+        if file.is_test_line(line) || file.allowed(RULE, line) {
+            continue;
+        }
+        if PANIC_METHODS.contains(&name)
+            && is_punct(toks.get(i.wrapping_sub(1)), '.')
+            && is_punct(toks.get(i + 1), '(')
+        {
+            out.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                rule: RULE,
+                message: format!(
+                    ".{name}() in library code; return a typed error or annotate \
+                     `// lint: allow(no-panic): <invariant>`"
+                ),
+            });
+        } else if PANIC_MACROS.contains(&name) && is_punct(toks.get(i + 1), '!') {
+            out.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                rule: RULE,
+                message: format!(
+                    "{name}! in library code; return a typed error or annotate \
+                     `// lint: allow(no-panic): <invariant>`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(rel: &str, src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse(rel, src))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_lib_code() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }";
+        let d = diags("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|d| d.rule == RULE));
+    }
+
+    #[test]
+    fn unwrap_or_and_free_functions_are_fine() {
+        let src = "fn f() { a.unwrap_or(0); a.unwrap_or_else(g); expect(1); fn unwrap() {} }";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_bins_and_other_crates_are_exempt() {
+        let src = "fn f() { a.unwrap(); }";
+        assert!(diags("crates/core/src/bin/main.rs", src).is_empty());
+        assert!(diags("crates/core/tests/t.rs", src).is_empty());
+        assert!(diags("crates/telemetry/src/registry.rs", src).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests { fn f() { a.unwrap(); } }";
+        assert!(diags("crates/core/src/x.rs", test_mod).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f() {\n// lint: allow(no-panic): seeded above\na.unwrap();\n}";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+        let no_reason = "fn f() {\n// lint: allow(no-panic)\na.unwrap();\n}";
+        assert_eq!(diags("crates/core/src/x.rs", no_reason).len(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! `telemetry-names`: code and the telemetry-name manifest must agree.
+//!
+//! Every instrument or span name registered anywhere in the workspace
+//! must appear in `docs/telemetry_names.txt`, and every manifest entry
+//! must still be registered somewhere — drift in either direction is an
+//! error, so DESIGN.md §5 (which is checked against the same manifest)
+//! can never silently rot. Dynamic names built with `format!` are
+//! normalized: each `{...}` capture becomes a literal `*` segment
+//! (`session.{stage}.hits` → `session.*.hits`).
+//!
+//! Registration calls recognized: `.counter(_)`, `.gauge(_)`,
+//! `.histogram(_)`, `.span(_)`, and `.timed(_, ..)` — string literals
+//! are extracted from the call's *first* argument only (which also
+//! covers `match`-selected names). A first argument containing no
+//! literal at all is flagged as unanalyzable unless allowlisted.
+
+use super::{first_arg_range, ident, is_punct};
+use crate::lexer::Tok;
+use crate::source::{FileKind, SourceFile};
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Rule name as written in diagnostics and allow directives.
+pub const RULE: &str = "telemetry-names";
+
+/// Workspace-root-relative path of the manifest.
+pub const MANIFEST: &str = "docs/telemetry_names.txt";
+
+/// Crates exempt from extraction: the telemetry subsystem itself (its
+/// API takes caller-supplied names) and this linter.
+const EXEMPT_CRATES: &[&str] = &["telemetry", "lint"];
+
+const METHODS: &[&str] = &["counter", "gauge", "histogram", "span", "timed"];
+
+/// Replaces every `{...}` format capture with `*` (and unescapes
+/// `{{`/`}}`).
+pub fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut chars = name.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                out.push('{');
+            }
+            '{' => {
+                for inner in chars.by_ref() {
+                    if inner == '}' {
+                        break;
+                    }
+                }
+                out.push('*');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                out.push('}');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts every registered (normalized) name from one file, plus
+/// diagnostics for unanalyzable registrations. Returns `(name, line)`
+/// pairs.
+pub fn extract(file: &SourceFile, diags: &mut Vec<Diagnostic>) -> Vec<(String, usize)> {
+    if file.kind == FileKind::TestLike || EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Some(name) = ident(toks.get(i)) else {
+            continue;
+        };
+        if !METHODS.contains(&name)
+            || !is_punct(toks.get(i.wrapping_sub(1)), '.')
+            || !is_punct(toks.get(i + 1), '(')
+        {
+            continue;
+        }
+        let line = toks[i].line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let (start, end) = first_arg_range(toks, i + 1);
+        let mut found = false;
+        for t in &toks[start..end] {
+            if let Tok::Str(s) = &t.tok {
+                out.push((normalize(s), t.line));
+                found = true;
+            }
+        }
+        if !found && !file.allowed(RULE, line) {
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                rule: RULE,
+                message: format!(
+                    ".{name}(...) with no string literal in its name argument; \
+                     the registered name cannot be checked against {MANIFEST}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the manifest diff over the whole workspace.
+pub fn check(files: &[SourceFile], root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // name -> first registration site.
+    let mut registered: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for f in files {
+        for (name, line) in extract(f, &mut diags) {
+            registered
+                .entry(name)
+                .or_insert_with(|| (f.rel.clone(), line));
+        }
+    }
+
+    let manifest_path = root.join(MANIFEST);
+    let text = match fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            diags.push(Diagnostic {
+                file: MANIFEST.to_string(),
+                line: 0,
+                rule: RULE,
+                message: format!("cannot read telemetry-name manifest: {e}"),
+            });
+            return diags;
+        }
+    };
+    let mut manifest: BTreeMap<&str, usize> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let entry = raw.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        manifest.entry(entry).or_insert(idx + 1);
+    }
+
+    for (name, (file, line)) in &registered {
+        if !manifest.contains_key(name.as_str()) {
+            diags.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                message: format!(
+                    "telemetry name \"{name}\" is registered here but missing from {MANIFEST}"
+                ),
+            });
+        }
+    }
+    for (name, line) in &manifest {
+        if !registered.contains_key(*name) {
+            diags.push(Diagnostic {
+                file: MANIFEST.to_string(),
+                line: *line,
+                rule: RULE,
+                message: format!("manifest name \"{name}\" is never registered in workspace code"),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_rewrites_captures() {
+        assert_eq!(normalize("session.{stage}.hits"), "session.*.hits");
+        assert_eq!(
+            normalize("multilevel.level{j}.refine"),
+            "multilevel.level*.refine"
+        );
+        assert_eq!(normalize("plain.name"), "plain.name");
+        assert_eq!(normalize("brace{{literal}}"), "brace{literal}");
+    }
+
+    #[test]
+    fn extracts_literals_format_strings_and_match_arms() {
+        let src = r#"
+            fn f(r: &Registry) {
+                r.counter("a.count").inc();
+                r.histogram(&format!("b.{k}.seconds"));
+                let _s = r.span(match m { M::X => "c.x", M::Y => "c.y" });
+                let (v, secs) = r.timed("d.stage", || compute("not.a.name"));
+            }
+        "#;
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        let names: Vec<String> = extract(&f, &mut diags)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["a.count", "b.*.seconds", "c.x", "c.y", "d.stage"]
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn dynamic_name_without_literal_is_flagged() {
+        let src = "fn f(r: &Registry, n: &str) { r.counter(n).inc(); }";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        let names = extract(&f, &mut diags);
+        assert!(names.is_empty());
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn test_code_and_exempt_crates_are_skipped() {
+        let src = "#[cfg(test)]\nmod t { fn f(r: &R) { r.counter(\"x.y\"); } }";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut diags = Vec::new();
+        assert!(extract(&f, &mut diags).is_empty());
+        let f = SourceFile::parse(
+            "crates/telemetry/src/registry.rs",
+            "fn f(r: &R) { r.counter(\"x.y\"); }",
+        );
+        assert!(extract(&f, &mut diags).is_empty());
+        assert!(diags.is_empty());
+    }
+}

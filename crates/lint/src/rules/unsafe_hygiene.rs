@@ -1,0 +1,77 @@
+//! `unsafe-hygiene`: the workspace stays at zero `unsafe`.
+//!
+//! Every kernel in this repo — the tiled GEMM, the blocked Sinkhorn,
+//! the kNN sweep — reaches its performance through layout and
+//! auto-vectorization, not through `unsafe`. Today the workspace-wide
+//! `unsafe` count is zero; this rule (together with
+//! `#![deny(unsafe_code)]` in every crate root) keeps it there, in
+//! tests and benches included. `static mut` is called out separately
+//! since it is the one `unsafe`-adjacent construct `deny(unsafe_code)`
+//! does not cover at the declaration site.
+
+use super::ident;
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// Rule name as written in diagnostics and allow directives.
+pub const RULE: &str = "unsafe-hygiene";
+
+/// Runs the rule over one file. Applies to every crate and every
+/// target kind — hygiene is workspace-wide.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Some(name) = ident(toks.get(i)) else {
+            continue;
+        };
+        let line = toks[i].line;
+        let hit = match name {
+            "unsafe" => Some("`unsafe` is forbidden workspace-wide"),
+            "static" if ident(toks.get(i + 1)) == Some("mut") => {
+                Some("`static mut` is forbidden workspace-wide")
+            }
+            _ => None,
+        };
+        if let Some(msg) = hit {
+            if file.allowed(RULE, line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                rule: RULE,
+                message: format!("{msg}; express the kernel through safe layout/vectorization"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unsafe_even_in_tests() {
+        let src = "fn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        assert_eq!(
+            check(&SourceFile::parse("crates/gpusim/tests/t.rs", src)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flags_static_mut_once() {
+        let src = "static mut COUNTER: u64 = 0;";
+        let d = check(&SourceFile::parse("crates/core/src/x.rs", src));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("static mut"));
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_are_fine() {
+        let src = "// unsafe in prose\nfn f() { let s = \"unsafe static mut\"; }";
+        assert!(check(&SourceFile::parse("crates/core/src/x.rs", src)).is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-file source model: classification, `#[cfg(test)]` regions, and
+//! `// lint: allow(...)` directives.
+//!
+//! Rules never see raw text. They see a [`SourceFile`]: the token
+//! stream from [`crate::lexer`], the file's [`FileKind`] (library code
+//! vs. binaries/tests, where the panic rules relax), the set of lines
+//! covered by test-only items, and the parsed allow directives.
+
+use crate::lexer::{lex, Comment, Lexed, Tok};
+
+/// What kind of target a file belongs to. Decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/` of a crate): all rules apply.
+    Lib,
+    /// Binary-like code (`src/bin/`, `src/main.rs`, `benches/`,
+    /// `examples/`, the whole `bench` crate): panicking is allowed.
+    BinLike,
+    /// Test code (`tests/` directories): panicking is allowed.
+    TestLike,
+}
+
+/// One `// lint: allow(<rule>): <reason>` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the directive comment starts on.
+    pub line: usize,
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// Reason after the trailing colon. Empty = malformed (the
+    /// directive then suppresses nothing and is itself reported).
+    pub reason: String,
+}
+
+/// A lexed, classified workspace file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Crate directory name under `crates/` (empty for root-level
+    /// `tests/` / `examples/`).
+    pub crate_name: String,
+    /// Target classification.
+    pub kind: FileKind,
+    /// Token stream and captured comments.
+    pub lexed: Lexed,
+    /// Parsed allow directives.
+    pub allows: Vec<Allow>,
+    /// Line ranges (inclusive) covered by `#[test]` / `#[cfg(test)]`
+    /// items.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `src` as the file at `rel` (workspace-root
+    /// relative, `/`-separated).
+    pub fn parse(rel: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let allows = parse_allows(&lexed.comments);
+        let test_ranges = find_test_ranges(&lexed);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_of(rel),
+            kind: kind_of(rel),
+            lexed,
+            allows,
+            test_ranges,
+        }
+    }
+
+    /// Is `line` inside a `#[test]` / `#[cfg(test)]` item?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Does an allow directive for `rule` cover a violation on `line`?
+    /// A directive covers its own line (trailing comment) and the line
+    /// after it (comment-above style). Directives without a reason
+    /// never suppress.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule && !a.reason.is_empty() && (a.line == line || a.line + 1 == line)
+        })
+    }
+}
+
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("").to_string()
+    } else {
+        String::new()
+    }
+}
+
+fn kind_of(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let in_crate = parts.first() == Some(&"crates");
+    // The bench crate is wall-to-wall benchmark drivers.
+    if in_crate && parts.get(1) == Some(&"bench") {
+        return FileKind::BinLike;
+    }
+    if parts.contains(&"tests") {
+        return FileKind::TestLike;
+    }
+    if parts.contains(&"benches") || parts.contains(&"examples") || parts.contains(&"bin") {
+        return FileKind::BinLike;
+    }
+    if parts.last() == Some(&"main.rs") {
+        return FileKind::BinLike;
+    }
+    FileKind::Lib
+}
+
+/// Parses `lint: allow(<rule>)[: reason]` out of comment bodies.
+fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let t = c.text.trim();
+        let Some(rest) = t.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Allow {
+            line: c.line,
+            rule,
+            reason,
+        });
+    }
+    out
+}
+
+/// Finds line ranges of items annotated `#[test]`, `#[cfg(test)]`, or
+/// any other attribute mentioning `test` (e.g. `#[cfg(any(test, ...))]`)
+/// — except negations like `#[cfg(not(test))]`, which are live code.
+///
+/// The extent of an item is approximated as: from the attribute to the
+/// close of the first top-level brace block that follows it, or to the
+/// first top-level `;`, whichever comes first. That covers `mod tests {
+/// ... }`, `#[test] fn ... { ... }`, and attribute-gated `use` items,
+/// which is everything this workspace writes.
+fn find_test_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].tok != Tok::Punct('#')
+            || toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('['))
+        {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attribute(lexed, i + 1);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_end;
+        while toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct('#'))
+            && toks.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+        {
+            let (next, _) = scan_attribute(lexed, j + 1);
+            j = next;
+        }
+        // Find the end of the item.
+        let mut depth = 0usize;
+        let mut end = j;
+        while let Some(t) = toks.get(end) {
+            match t.tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let end_line = toks
+            .get(end)
+            .or_else(|| toks.last())
+            .map(|t| t.line)
+            .unwrap_or(0);
+        ranges.push((toks[i].line, end_line));
+        i = end + 1;
+    }
+    ranges
+}
+
+/// Scans the attribute starting at the `[` token index `open`. Returns
+/// `(index past the closing ']', attribute mentions test)`.
+fn scan_attribute(lexed: &Lexed, open: usize) -> (usize, bool) {
+    let toks = &lexed.tokens;
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        match &t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, saw_test && !saw_not);
+                }
+            }
+            Tok::Ident(s) if s == "test" => saw_test = true,
+            Tok::Ident(s) if s == "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks.len(), saw_test && !saw_not)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(kind_of("crates/core/src/session.rs"), FileKind::Lib);
+        assert_eq!(kind_of("crates/core/src/bin/cualign.rs"), FileKind::BinLike);
+        assert_eq!(kind_of("crates/core/src/main.rs"), FileKind::BinLike);
+        assert_eq!(
+            kind_of("crates/linalg/tests/prop_gemm.rs"),
+            FileKind::TestLike
+        );
+        assert_eq!(kind_of("crates/bench/src/lib.rs"), FileKind::BinLike);
+        assert_eq!(kind_of("tests/pipeline_integration.rs"), FileKind::TestLike);
+        assert_eq!(kind_of("examples/quickstart.rs"), FileKind::BinLike);
+        assert_eq!(crate_of("crates/embed/src/subspace.rs"), "embed");
+        assert_eq!(crate_of("tests/session_cache.rs"), "");
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn live2() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn test_attribute_with_stacked_attrs() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n  boom();\n}\nfn live() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn allow_directive_parsing() {
+        let src = "// lint: allow(no-panic): checked above\n\
+                   x.unwrap();\n\
+                   // lint: allow(no-panic)\n\
+                   y.unwrap();\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert!(f.allowed("no-panic", 2));
+        assert!(
+            !f.allowed("no-panic", 4),
+            "reasonless allow must not suppress"
+        );
+        assert!(!f.allowed("float-ordering", 2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Workspace discovery: find every `.rs` file the rules should see.
+
+use crate::source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into. `fixtures` holds the lint
+/// crate's own deliberately-violating test corpus; `stubs` holds the
+/// offline dependency stand-ins of `.typecheck/`.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    "fixtures",
+    ".typecheck",
+    "stubs",
+    "results",
+    "docs",
+];
+
+/// Loads every workspace `.rs` file under `root` (the `crates/` tree
+/// plus root-level `tests/` and `examples/`), parsed and classified.
+/// Files are returned sorted by relative path so diagnostics are
+/// deterministic.
+pub fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let rel = relative(root, p);
+        let src = fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        files.push(SourceFile::parse(&rel, &src));
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

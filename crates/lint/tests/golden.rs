@@ -1,0 +1,76 @@
+//! Golden tests: each fixture tree under `fixtures/` is a miniature
+//! workspace seeded with deliberate violations; `expected.txt` next to
+//! it records the exact diagnostics the rule must produce.
+
+use std::path::PathBuf;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn check_fixture(name: &str, rule: &str) {
+    let root = fixture_root(name);
+    let diags = lint::run(&root, &[rule]).expect("fixture lint run");
+    let got: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    let expected = std::fs::read_to_string(root.join("expected.txt")).expect("expected.txt");
+    let want: Vec<&str> = expected.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(got, want, "fixture `{name}` diverged from its golden file");
+    assert!(
+        !got.is_empty(),
+        "fixture `{name}` must violate its rule (the CI gate relies on a non-zero exit)"
+    );
+}
+
+#[test]
+fn no_panic_fixture() {
+    check_fixture("no_panic", "no-panic");
+}
+
+#[test]
+fn float_ordering_fixture() {
+    check_fixture("float_ordering", "float-ordering");
+}
+
+#[test]
+fn unsafe_hygiene_fixture() {
+    check_fixture("unsafe_hygiene", "unsafe-hygiene");
+}
+
+#[test]
+fn telemetry_names_fixture() {
+    check_fixture("telemetry_names", "telemetry-names");
+}
+
+#[test]
+fn oracle_pinning_fixture() {
+    check_fixture("oracle_pinning", "oracle-pinning");
+}
+
+/// The escape hatch needs a reason: an `allow(no-panic)` with none must
+/// leave the violation standing AND report the directive itself, while
+/// the reasoned allow two functions earlier suppresses cleanly.
+#[test]
+fn reasonless_allow_suppresses_nothing() {
+    let root = fixture_root("no_panic");
+    let diags = lint::run(&root, &["no-panic"]).expect("fixture lint run");
+    let reasonless_line = 35;
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "lint-allow" && d.line == reasonless_line),
+        "reasonless allow must be reported as a lint-allow violation"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "no-panic" && d.line == reasonless_line + 1),
+        "the unwrap under a reasonless allow must still fire"
+    );
+    // The reasoned allow (line 29) suppresses its unwrap (line 30).
+    assert!(
+        !diags.iter().any(|d| d.line == 30),
+        "a reasoned allow must suppress the following line"
+    );
+}

@@ -1,0 +1,20 @@
+//! Self-check: the real workspace must satisfy every rule. This is the
+//! same invariant the CI gate enforces via the binary's exit code, kept
+//! here too so `cargo test` alone catches a regression.
+
+use std::path::PathBuf;
+
+#[test]
+fn real_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint::run(&root, lint::ALL_RULES).expect("workspace lint run");
+    assert!(
+        diags.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

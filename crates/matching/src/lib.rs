@@ -33,6 +33,7 @@
 //! the residual band (edges of still-unmatched vertices) to complete
 //! BP's rounding.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod greedy;

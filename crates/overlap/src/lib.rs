@@ -29,6 +29,7 @@
 //! changes (per density in a sweep, and per refinement band at each
 //! multilevel level) and is the structure all BP messages live on.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use cualign_graph::{BipartiteGraph, CsrGraph, EdgeId};
@@ -73,9 +74,11 @@ impl OverlapMatrix {
             .collect();
 
         let mut row_offsets = Vec::with_capacity(m + 1);
-        row_offsets.push(0usize);
+        let mut nnz = 0usize;
+        row_offsets.push(nnz);
         for r in &rows {
-            row_offsets.push(row_offsets.last().expect("non-empty") + r.len());
+            nnz += r.len();
+            row_offsets.push(nnz);
         }
         let col_idx: Vec<EdgeId> = rows.into_iter().flatten().collect();
 
@@ -94,6 +97,7 @@ impl OverlapMatrix {
                     let ce = row_offsets[col + 1];
                     let pos = col_idx[cs..ce]
                         .binary_search(&(row as EdgeId))
+                        // lint: allow(no-panic): the row construction above inserts (u',v') iff (v',u') is also inserted, so the pattern is structurally symmetric by construction
                         .expect("overlap matrix not structurally symmetric");
                     (cs + pos) as u32
                 })

@@ -26,6 +26,7 @@
 //! `cualign::multilevel`), using this crate's kNN only at the coarsest
 //! level.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod knn;

@@ -53,6 +53,7 @@
 //! records `multilevel.*` spans and per-level counters, and the CLI and
 //! bench binaries choose the sink (`--telemetry off|summary|json:PATH`).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
