@@ -54,6 +54,7 @@ else
     cargo check -p cualign-linalg --tests &&
     cargo check -p cualign-sparsify --tests &&
     cargo check -p cualign-embed --tests &&
+    cargo check -p cualign-serve --tests &&
     cargo check -p cualign-bench --benches &&
     cargo check -p lint --tests &&
     cargo run -q --release -p lint

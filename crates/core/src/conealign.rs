@@ -17,6 +17,7 @@ use crate::scoring::{score_alignment, AlignmentScores};
 use crate::session::AlignmentSession;
 use cualign_graph::{CsrGraph, VertexId};
 use cualign_matching::{locally_dominant_parallel, Matching};
+use std::borrow::Borrow;
 use std::time::Instant;
 
 /// Output of the cone-align baseline.
@@ -49,8 +50,8 @@ pub fn cone_align(
 /// `L`. When the session has already aligned (or is about to), the
 /// embeddings, subspace, and sparsification are computed once and shared
 /// between cuAlign and the baseline.
-pub fn cone_align_session(
-    session: &mut AlignmentSession<'_>,
+pub fn cone_align_session<G: Borrow<CsrGraph>>(
+    session: &mut AlignmentSession<G>,
 ) -> Result<ConeAlignResult, AlignError> {
     let t = Instant::now();
     let matching = {

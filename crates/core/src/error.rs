@@ -61,6 +61,16 @@ pub enum AlignError {
         /// Underlying error message.
         reason: String,
     },
+    /// An untrusted request body failed structural validation before it
+    /// reached the pipeline (the service-layer ingest path): an
+    /// out-of-range vertex id, a zero-vertex graph, or a vertex count
+    /// beyond the `VertexId` range. Unlike [`AlignError::Io`] (transport
+    /// and filesystem failures) this always means the *content* of the
+    /// request is wrong, so servers map it to a 4xx response.
+    Protocol {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
     /// The subspace-alignment stage rejected its inputs (dimension or
     /// row-count mismatch between embeddings and graphs). Configuration
     /// errors are normalized to [`AlignError::InvalidConfig`] at build
@@ -111,6 +121,7 @@ impl fmt::Display for AlignError {
                 write!(f, "invalid config: {field}: {reason}")
             }
             AlignError::Io { path, reason } => write!(f, "{path}: {reason}"),
+            AlignError::Protocol { reason } => write!(f, "protocol error: {reason}"),
             AlignError::Subspace(e) => write!(f, "subspace alignment: {e}"),
             AlignError::Internal { stage } => write!(
                 f,

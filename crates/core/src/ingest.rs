@@ -1,0 +1,94 @@
+//! Cheap, validated graph ingestion for untrusted request bodies.
+//!
+//! A long-running alignment service accepts graph pairs over the
+//! network, so the path from "bytes a client sent" to a [`CsrGraph`]
+//! must be total: every malformed input surfaces as a typed
+//! [`AlignError::Protocol`] instead of a panic, and validation costs one
+//! linear scan before the `O(E log E)` CSR build. The serving layer
+//! (`cualign-serve`) parses its wire format down to `(n, edge list)`
+//! and hands the rest to [`graph_from_edges`]; anything that clears this
+//! function is a structurally sound input for
+//! [`crate::AlignmentSession`].
+
+use crate::error::AlignError;
+use cualign_graph::{CsrGraph, VertexId};
+
+/// Builds a CSR graph from an untrusted `(vertex count, edge list)`
+/// description.
+///
+/// Semantics match [`CsrGraph::from_edges`] — self loops are dropped,
+/// duplicate edges (in either orientation) collapse — but every
+/// precondition that constructor asserts is checked here first and
+/// reported as [`AlignError::Protocol`]:
+///
+/// * `n` must be at least 1 (a zero-vertex graph cannot be aligned),
+/// * `n` must fit the [`VertexId`] range,
+/// * every endpoint must be `< n`.
+///
+/// ```
+/// use cualign::ingest::graph_from_edges;
+/// let g = graph_from_edges(3, &[(0, 1), (1, 2), (1, 2)]).unwrap();
+/// assert_eq!((g.num_vertices(), g.num_edges()), (3, 2));
+/// assert!(graph_from_edges(3, &[(0, 7)]).is_err());
+/// ```
+pub fn graph_from_edges(n: usize, edges: &[(u64, u64)]) -> Result<CsrGraph, AlignError> {
+    if n == 0 {
+        return Err(AlignError::Protocol {
+            reason: "graph has zero vertices".to_string(),
+        });
+    }
+    if n > VertexId::MAX as usize {
+        return Err(AlignError::Protocol {
+            reason: format!(
+                "vertex count {n} exceeds the supported maximum of {}",
+                VertexId::MAX
+            ),
+        });
+    }
+    let mut checked = Vec::with_capacity(edges.len());
+    for (idx, &(u, v)) in edges.iter().enumerate() {
+        if u >= n as u64 || v >= n as u64 {
+            return Err(AlignError::Protocol {
+                reason: format!("edge #{idx} ({u}, {v}) is out of bounds for n = {n}"),
+            });
+        }
+        checked.push((u as VertexId, v as VertexId));
+    }
+    Ok(CsrGraph::from_edges(n, &checked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_edge_lists_round_trip() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        g.check_invariants().unwrap();
+        // Self loops and duplicates are cleaned, not rejected.
+        let g = graph_from_edges(3, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_protocol_errors() {
+        for (n, edges) in [
+            (0usize, vec![]),
+            (4, vec![(0u64, 4u64)]),
+            (4, vec![(9, 1)]),
+            (VertexId::MAX as usize + 1, vec![]),
+        ] {
+            let err = graph_from_edges(n, &edges).unwrap_err();
+            assert!(
+                matches!(err, AlignError::Protocol { .. }),
+                "({n}, {edges:?}) must be a protocol error, got {err:?}"
+            );
+        }
+        let msg = graph_from_edges(4, &[(0, 1), (2, 5)])
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("edge #1") && msg.contains("n = 4"), "{msg}");
+    }
+}

@@ -54,6 +54,7 @@ pub mod baselines;
 pub mod conealign;
 pub mod config;
 pub mod error;
+pub mod ingest;
 pub mod inputs;
 pub mod multilevel;
 pub mod pipeline;
@@ -68,4 +69,4 @@ pub use inputs::PaperInput;
 pub use multilevel::{align_multilevel, align_multilevel_with_registry, MultilevelConfig};
 pub use pipeline::{Aligner, AlignmentResult, StageTimings};
 pub use scoring::{score_alignment, AlignmentScores};
-pub use session::{AlignmentSession, Embeddings, StageCounters};
+pub use session::{graph_pair_fingerprint, AlignmentSession, Embeddings, StageCounters};

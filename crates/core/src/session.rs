@@ -40,6 +40,7 @@ use cualign_graph::{BipartiteGraph, CsrGraph, VertexId};
 use cualign_linalg::DenseMatrix;
 use cualign_overlap::OverlapMatrix;
 use cualign_telemetry::{Counter, Registry};
+use std::borrow::Borrow;
 use std::sync::Arc;
 
 use crate::config::SparsityChoice;
@@ -84,6 +85,35 @@ impl Fnv {
     fn finish(self) -> u64 {
         self.0
     }
+}
+
+/// Folds one CSR graph's exact structure (vertex count, offsets,
+/// targets) into an FNV accumulator.
+fn fold_graph(h: &mut Fnv, g: &CsrGraph) {
+    h.usize(g.num_vertices());
+    for &off in g.offsets() {
+        h.usize(off);
+    }
+    for &t in g.targets() {
+        h.u64(t as u64);
+    }
+}
+
+/// Structural fingerprint of an ordered graph pair: an FNV-1a digest of
+/// both CSR layouts (vertex counts, offset arrays, target arrays).
+///
+/// Two pairs collide only if their CSR representations are bytewise
+/// identical, so the digest identifies the *inputs* of a session
+/// independently of any configuration — the key a serving layer needs to
+/// route repeat queries at the session cache
+/// ([`AlignmentSession::fingerprint`] exposes the same value). The pair
+/// is ordered: `(a, b)` and `(b, a)` hash differently, matching the
+/// asymmetric A→B direction of the pipeline.
+pub fn graph_pair_fingerprint(a: &CsrGraph, b: &CsrGraph) -> u64 {
+    let mut h = Fnv::new(7);
+    fold_graph(&mut h, a);
+    fold_graph(&mut h, b);
+    h.finish()
 }
 
 fn embedding_fingerprint(m: &EmbeddingMethod) -> u64 {
@@ -328,9 +358,32 @@ impl SessionTelemetry {
 /// assert_eq!(session.counters().subspace_builds, 1);
 /// assert_eq!(session.counters().sparsify_builds, 3);
 /// ```
-pub struct AlignmentSession<'g> {
-    a: &'g CsrGraph,
-    b: &'g CsrGraph,
+///
+/// The session is generic over how it holds its input graphs: anything
+/// that [`Borrow`]s a [`CsrGraph`]. Sweep drivers pass plain references
+/// (`AlignmentSession::new(&a, &b, cfg)` as above); long-running
+/// embedders that must *own* their sessions — the `cualign-serve`
+/// session LRU — pass `Arc<CsrGraph>`, which makes the session
+/// `'static` and freely movable across worker threads:
+///
+/// ```
+/// use cualign::{AlignerConfig, AlignmentSession};
+/// use cualign_graph::CsrGraph;
+/// use std::sync::Arc;
+///
+/// let ring: Vec<(u32, u32)> = (0..20).map(|i| (i, (i + 1) % 20)).collect();
+/// let g = Arc::new(CsrGraph::from_edges(20, &ring));
+/// let cfg = AlignerConfig::builder().embedding_dim(2).k(2).bp_iters(2).build().unwrap();
+/// let session: AlignmentSession<Arc<CsrGraph>> =
+///     AlignmentSession::new(Arc::clone(&g), g, cfg).unwrap();
+/// let owned: Box<dyn Send> = Box::new(session); // no borrowed graphs
+/// # drop(owned);
+/// ```
+pub struct AlignmentSession<G: Borrow<CsrGraph>> {
+    a: G,
+    b: G,
+    /// Structural digest of the input pair, fixed at construction.
+    pair_fp: u64,
     cfg: AlignerConfig,
     embeddings: Option<Cached<Embeddings>>,
     subspace: Option<Cached<SubspaceAlignment>>,
@@ -359,12 +412,12 @@ impl StageOutcome {
     }
 }
 
-impl<'g> AlignmentSession<'g> {
+impl<G: Borrow<CsrGraph>> AlignmentSession<G> {
     /// Opens a session over `a` and `b`, recording telemetry into the
     /// process-global registry. Validates the configuration and rejects
     /// degenerate inputs (empty graphs, embedding dimension larger than
     /// the smaller graph).
-    pub fn new(a: &'g CsrGraph, b: &'g CsrGraph, cfg: AlignerConfig) -> Result<Self, AlignError> {
+    pub fn new(a: G, b: G, cfg: AlignerConfig) -> Result<Self, AlignError> {
         Self::with_registry(a, b, cfg, cualign_telemetry::global())
     }
 
@@ -373,16 +426,18 @@ impl<'g> AlignmentSession<'g> {
     /// global one. Tests use this with a leaked fresh registry so
     /// concurrently running sessions cannot perturb each other's counts.
     pub fn with_registry(
-        a: &'g CsrGraph,
-        b: &'g CsrGraph,
+        a: G,
+        b: G,
         cfg: AlignerConfig,
         registry: &'static Registry,
     ) -> Result<Self, AlignError> {
         cfg.validate()?;
-        Self::check_inputs(a, b, &cfg)?;
+        Self::check_inputs(a.borrow(), b.borrow(), &cfg)?;
+        let pair_fp = graph_pair_fingerprint(a.borrow(), b.borrow());
         Ok(AlignmentSession {
             a,
             b,
+            pair_fp,
             cfg,
             embeddings: None,
             subspace: None,
@@ -409,7 +464,11 @@ impl<'g> AlignmentSession<'g> {
             return Err(AlignError::EmptyGraph { side: GraphSide::B });
         }
         let smaller = a.num_vertices().min(b.num_vertices());
-        if cfg.embedding.dim() > smaller {
+        // min_vertices, not dim: the spectral method also needs room for
+        // its oversampling block, and its kernel asserts that bound — it
+        // must surface here as a typed error, never as a worker panic on
+        // a small network-supplied graph.
+        if cfg.embedding.dim() > smaller || cfg.embedding.min_vertices() > smaller {
             return Err(AlignError::DimExceedsVertices {
                 dim: cfg.embedding.dim(),
                 vertices: smaller,
@@ -419,8 +478,37 @@ impl<'g> AlignmentSession<'g> {
     }
 
     /// The input graphs `(a, b)`.
-    pub fn graphs(&self) -> (&'g CsrGraph, &'g CsrGraph) {
-        (self.a, self.b)
+    pub fn graphs(&self) -> (&CsrGraph, &CsrGraph) {
+        (self.a.borrow(), self.b.borrow())
+    }
+
+    /// Structural fingerprint of the input graph pair
+    /// ([`graph_pair_fingerprint`]), computed once at construction.
+    ///
+    /// Configuration changes never alter it — it identifies *which
+    /// inputs* this session serves, which is exactly the cache key a
+    /// serving layer wants: repeat queries for the same pair (under any
+    /// config) route to the same resident session and hit its stage
+    /// cache.
+    pub fn fingerprint(&self) -> u64 {
+        self.pair_fp
+    }
+
+    /// Drops every cached stage artifact, returning the session to its
+    /// freshly-constructed state (configuration, counters, and
+    /// cumulative timings are kept).
+    ///
+    /// This is the eviction hook for embedders that keep sessions
+    /// resident — a session LRU under memory pressure can shed the
+    /// artifact payload (embeddings, `L`, `S`, the optimized matching)
+    /// without discarding the session's identity or statistics; the next
+    /// [`AlignmentSession::align`] rebuilds from the graphs.
+    pub fn clear_cache(&mut self) {
+        self.embeddings = None;
+        self.subspace = None;
+        self.sparse_l = None;
+        self.overlap = None;
+        self.optimized = None;
     }
 
     /// The active configuration.
@@ -434,7 +522,7 @@ impl<'g> AlignmentSession<'g> {
     /// front half.
     pub fn set_config(&mut self, cfg: AlignerConfig) -> Result<(), AlignError> {
         cfg.validate()?;
-        Self::check_inputs(self.a, self.b, &cfg)?;
+        Self::check_inputs(self.a.borrow(), self.b.borrow(), &cfg)?;
         self.cfg = cfg;
         Ok(())
     }
@@ -474,12 +562,12 @@ impl<'g> AlignmentSession<'g> {
         }
         self.tele.embed.misses.inc();
         let (value, seconds) = self.registry.timed("session.embed", || {
-            let y1 = self.cfg.embedding.embed(self.a);
+            let y1 = self.cfg.embedding.embed(self.a.borrow());
             let y2 = self
                 .cfg
                 .embedding
                 .with_seed_offset(B_SIDE_SEED_OFFSET)
-                .embed(self.b);
+                .embed(self.b.borrow());
             Embeddings { y1, y2 }
         });
         self.embeddings = Some(Cached {
@@ -512,7 +600,13 @@ impl<'g> AlignmentSession<'g> {
         self.tele.subspace.misses.inc();
         let emb = &cached(&self.embeddings, "embeddings")?.value;
         let (sub, seconds) = self.registry.timed("session.subspace", || {
-            align_subspaces(&emb.y1, &emb.y2, self.a, self.b, &self.cfg.subspace)
+            align_subspaces(
+                &emb.y1,
+                &emb.y2,
+                self.a.borrow(),
+                self.b.borrow(),
+                &self.cfg.subspace,
+            )
         });
         self.subspace = Some(Cached {
             fingerprint: fp,
@@ -578,7 +672,7 @@ impl<'g> AlignmentSession<'g> {
         self.tele.overlap.misses.inc();
         let l = &cached(&self.sparse_l, "sparse_l")?.value;
         let (s, seconds) = self.registry.timed("session.overlap", || {
-            OverlapMatrix::build(self.a, self.b, l)
+            OverlapMatrix::build(self.a.borrow(), self.b.borrow(), l)
         });
         self.overlap = Some(Cached {
             fingerprint: fp,
@@ -619,10 +713,10 @@ impl<'g> AlignmentSession<'g> {
         let s = &cached(&self.overlap, "overlap")?.value;
         let (value, seconds) = self.registry.timed("session.optimize", || {
             let bp = BpEngine::new(l, s, &self.cfg.bp).run();
-            let mapping: Vec<Option<VertexId>> = (0..self.a.num_vertices())
+            let mapping: Vec<Option<VertexId>> = (0..self.a.borrow().num_vertices())
                 .map(|u| bp.best_matching.mate_of_a(u as VertexId))
                 .collect();
-            let scores = score_alignment(self.a, self.b, &mapping);
+            let scores = score_alignment(self.a.borrow(), self.b.borrow(), &mapping);
             Optimized {
                 bp,
                 mapping,
@@ -756,5 +850,71 @@ mod tests {
         let r = s.align().unwrap();
         assert_eq!(r.timings.cache_hits, 3);
         assert_eq!(s.counters().embedding_builds, 1);
+    }
+
+    #[test]
+    fn pair_fingerprint_identifies_inputs_not_config() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = erdos_renyi_gnm(40, 90, &mut rng);
+        let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+
+        let mut s1 = AlignmentSession::new(&inst.a, &inst.b, small_cfg()).unwrap();
+        let s2 = AlignmentSession::new(&inst.a, &inst.b, small_cfg()).unwrap();
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        assert_eq!(
+            s1.fingerprint(),
+            graph_pair_fingerprint(&inst.a, &inst.b),
+            "accessor and free function agree"
+        );
+        // Config changes leave the pair identity alone.
+        let before = s1.fingerprint();
+        s1.update_config(|c| c.bp.max_iters = 9).unwrap();
+        assert_eq!(s1.fingerprint(), before);
+        // Ordering matters; a different pair hashes differently.
+        assert_ne!(
+            graph_pair_fingerprint(&inst.a, &inst.b),
+            graph_pair_fingerprint(&inst.b, &inst.a)
+        );
+        let other = erdos_renyi_gnm(40, 90, &mut rng);
+        assert_ne!(
+            graph_pair_fingerprint(&inst.a, &inst.b),
+            graph_pair_fingerprint(&inst.a, &other)
+        );
+    }
+
+    #[test]
+    fn clear_cache_sheds_artifacts_and_rebuilds() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = erdos_renyi_gnm(50, 120, &mut rng);
+        let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+        let mut s = AlignmentSession::new(&inst.a, &inst.b, small_cfg()).unwrap();
+        let r1 = s.align().unwrap();
+        s.clear_cache();
+        let r2 = s.align().unwrap();
+        assert_eq!(r2.timings.cache_hits, 0, "eviction dropped every artifact");
+        assert_eq!(r1.mapping, r2.mapping, "rebuild is deterministic");
+        assert_eq!(s.counters().total_builds(), 10);
+    }
+
+    #[test]
+    fn arc_owned_sessions_are_static_and_send() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = erdos_renyi_gnm(50, 120, &mut rng);
+        let inst = AlignmentInstance::permuted_pair(a, &mut rng);
+        let (ga, gb) = (Arc::new(inst.a.clone()), Arc::new(inst.b.clone()));
+        let mut owned: AlignmentSession<Arc<CsrGraph>> =
+            AlignmentSession::new(Arc::clone(&ga), Arc::clone(&gb), small_cfg()).unwrap();
+        // The whole point of Arc ownership: movable to another thread.
+        let handle = std::thread::spawn(move || {
+            let r = owned.align().unwrap();
+            (owned.fingerprint(), r.mapping)
+        });
+        let (fp, mapping) = handle.join().unwrap();
+        assert_eq!(fp, graph_pair_fingerprint(&ga, &gb));
+        let borrowed = AlignmentSession::new(&inst.a, &inst.b, small_cfg())
+            .unwrap()
+            .align()
+            .unwrap();
+        assert_eq!(mapping, borrowed.mapping, "ownership mode is transparent");
     }
 }

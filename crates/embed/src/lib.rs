@@ -93,6 +93,18 @@ impl EmbeddingMethod {
         }
     }
 
+    /// Smallest vertex count a graph must have for this method to run.
+    /// The embedding subspace cannot exceed the space: `dim` for every
+    /// method, plus the randomized-eigensolver oversampling block for
+    /// the spectral method (whose kernel asserts exactly this bound).
+    pub fn min_vertices(&self) -> usize {
+        match self {
+            EmbeddingMethod::Spectral(cfg) => cfg.dim + cfg.oversample,
+            EmbeddingMethod::FastRp(cfg) => cfg.dim,
+            EmbeddingMethod::NetMf(cfg) => cfg.dim,
+        }
+    }
+
     /// A copy with the RNG seed offset — used to give the two input graphs
     /// independent randomness where the method tolerates it.
     pub fn with_seed_offset(&self, offset: u64) -> Self {

@@ -1,0 +1,125 @@
+//! `cualign-serve` — the alignment service binary.
+//!
+//! ```text
+//! cualign-serve --addr 127.0.0.1:7070 --workers 4 --sessions 8
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (CI smoke
+//! checks wait for that line), then parks until shutdown. Clean exits:
+//! `POST /shutdown`, or — when stdin is a terminal — an EOF / `quit`
+//! line. Catching SIGINT is impossible in pure std without `unsafe`,
+//! which this workspace bans; the HTTP shutdown endpoint is the
+//! supported path for scripts.
+
+use cualign_serve::{Server, ServerConfig};
+use std::io::{BufRead, IsTerminal};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const USAGE: &str = "\
+cualign-serve: long-running network-alignment service
+
+USAGE:
+  cualign-serve [--addr HOST:PORT] [--workers N] [--queue N]
+                [--sessions K] [--deadline-s SECS]
+
+OPTIONS:
+  --addr HOST:PORT   bind address (default 127.0.0.1:7070; port 0 = ephemeral)
+  --workers N        alignment worker threads (default 2)
+  --queue N          queued connections before 503 (default 32)
+  --sessions K       resident sessions in the LRU (default 4)
+  --deadline-s SECS  queue deadline before 504 (default 60)
+  --help             print this text
+
+ENDPOINTS:
+  POST /align     {\"a\": {\"n\", \"edges\"}, \"b\": {...}, \"config\": {...}}
+  POST /sweep     same, with \"configs\": [{...}, ...]
+  GET  /metrics   Prometheus text exposition
+  GET  /healthz   liveness probe
+  POST /shutdown  graceful drain and exit
+";
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("cualign-serve: {message}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut cfg = ServerConfig {
+        addr: SocketAddr::from(([127, 0, 0, 1], 7070)),
+        ..ServerConfig::default()
+    };
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            return Ok(());
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value (see --help)"))?;
+        match flag {
+            "--addr" => {
+                cfg.addr = value
+                    .parse()
+                    .map_err(|e| format!("bad --addr {value:?}: {e}"))?;
+            }
+            "--workers" => cfg.workers = parse_count(flag, value)?,
+            "--queue" => cfg.queue_capacity = parse_count(flag, value)?,
+            "--sessions" => cfg.sessions = parse_count(flag, value)?,
+            "--deadline-s" => {
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|e| format!("bad {flag} {value:?}: {e}"))?;
+                cfg.deadline = Duration::from_secs(secs.max(1));
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+        i += 2;
+    }
+
+    // Metrics must be live for /metrics regardless of any exit-time
+    // telemetry sink; the service is its own exporter.
+    cualign_telemetry::set_enabled(true);
+
+    let server = Server::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening on {}", server.addr());
+
+    // Interactive convenience only: when run from a terminal, EOF or a
+    // "quit" line drains and exits. Gated on IsTerminal so a
+    // backgrounded server (CI, bench) does not instantly shut down when
+    // its stdin is closed.
+    if std::io::stdin().is_terminal() {
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(text) if text.trim() == "quit" => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            handle.trigger();
+        });
+    }
+
+    server.wait();
+    println!("drained; bye");
+    Ok(())
+}
+
+fn parse_count(flag: &str, value: &str) -> Result<usize, String> {
+    let n: usize = value
+        .parse()
+        .map_err(|e| format!("bad {flag} {value:?}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}

@@ -1,0 +1,69 @@
+//! A tiny blocking HTTP client for the service's own tests, bench
+//! load generator, and CI smoke checks.
+//!
+//! It speaks exactly the dialect the server emits — one request per
+//! connection, `Connection: close`, body delimited by EOF — so it reads
+//! to end-of-stream instead of honoring `Content-Length`, which keeps it
+//! honest about the server's close-after-response contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded response: status code and UTF-8 body.
+pub struct HttpResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+/// Sends one request and reads the full response, failing if the server
+/// does not answer within `timeout`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: cualign-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, payload) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+    })?;
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok(HttpResponse {
+        status,
+        body: payload.to_string(),
+    })
+}
+
+/// `GET path` with a two-minute timeout.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", path, "", Duration::from_secs(120))
+}
+
+/// `POST path` with a JSON body and a two-minute timeout. The generous
+/// default covers requests parked in the server's queue behind slow
+/// alignments; latency-sensitive callers use [`request`] directly.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", path, body, Duration::from_secs(120))
+}

@@ -1,0 +1,200 @@
+//! Minimal HTTP/1.1 framing over blocking [`TcpStream`]s.
+//!
+//! One request per connection: the server always answers with
+//! `Connection: close`, which sidesteps keep-alive bookkeeping and makes
+//! "response complete" observable to clients as EOF. Request heads are
+//! capped at 16 KiB and bodies at a caller-chosen limit so a misbehaving
+//! client cannot hold a worker's memory hostage.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, target path, and the full body.
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target, e.g. `/align`.
+    pub target: String,
+    /// The request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes were not a well-formed HTTP/1.1 request → 400.
+    Malformed(String),
+    /// The declared body exceeds the server's limit → 413.
+    BodyTooLarge {
+        /// The configured cap the request exceeded.
+        limit: usize,
+    },
+    /// The socket failed mid-read (including read timeouts); no response
+    /// can be delivered.
+    Io(std::io::Error),
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "header section exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let got = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if got == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before end of headers".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..got]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("headers are not UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(HttpError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge { limit: max_body });
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let got = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if got == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..got]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// Writes a complete response and flushes. Always closes the connection
+/// from the client's perspective (`Connection: close`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Canonical reason phrases for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /align HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = roundtrip(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/align");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(
+            roundtrip(b"NOT-HTTP\r\n\r\n", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", 1024),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 2000\r\n\r\n", 1024),
+            Err(HttpError::BodyTooLarge { limit: 1024 })
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! A small LRU of [`AlignmentSession`]s keyed by graph-pair fingerprint.
+//!
+//! The service's whole value proposition is that a repeated graph pair
+//! skips the expensive pipeline front half, so the cache key is the
+//! *pair* fingerprint only — config changes route to the same session,
+//! where the per-stage fingerprints already handle partial rebuilds.
+//! Capacity is a handful of sessions (each holds embeddings + overlap
+//! for its pair), so the store is a plain `Vec` ordered by recency;
+//! at serving sizes the O(capacity) scan is noise next to one Sinkhorn
+//! iteration.
+
+use cualign::AlignmentSession;
+use cualign_graph::CsrGraph;
+use std::sync::Arc;
+
+/// An owned session, movable across worker threads.
+pub type OwnedSession = AlignmentSession<Arc<CsrGraph>>;
+
+/// Fixed-capacity, most-recently-used-first session store.
+pub struct SessionLru {
+    capacity: usize,
+    /// Most recently used first.
+    entries: Vec<(u64, OwnedSession)>,
+}
+
+/// Outcome of a [`SessionLru::insert`].
+pub struct Inserted {
+    /// Number of sessions evicted to make room (0 or 1).
+    pub evicted: usize,
+}
+
+impl SessionLru {
+    /// Creates a store holding at most `capacity` sessions (min 1).
+    pub fn new(capacity: usize) -> SessionLru {
+        SessionLru {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Removes and returns the session for `fp`, marking nothing — the
+    /// caller runs the alignment outside the store's lock and puts the
+    /// session back with [`SessionLru::insert`]. Take-out semantics also
+    /// mean two concurrent requests for the same pair each get their own
+    /// session object rather than fighting over one `&mut`.
+    pub fn take(&mut self, fp: u64) -> Option<OwnedSession> {
+        let idx = self.entries.iter().position(|(k, _)| *k == fp)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Inserts (or re-inserts) a session at the most-recent position,
+    /// evicting the least-recent entry when over capacity. If another
+    /// session for the same pair landed while this one was checked out,
+    /// the returning one replaces it (it is strictly fresher).
+    pub fn insert(&mut self, fp: u64, session: OwnedSession) -> Inserted {
+        self.entries.retain(|(k, _)| *k != fp);
+        self.entries.insert(0, (fp, session));
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            // Dropping the session frees its artifacts; clear_cache is
+            // for holders that keep the session alive.
+            self.entries.pop();
+            evicted += 1;
+        }
+        Inserted { evicted }
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cualign::AlignerConfig;
+    use cualign_graph::CsrGraph;
+
+    fn session(seed: u32) -> (u64, OwnedSession) {
+        let edges: Vec<(u32, u32)> = (0..24u32).map(|i| (i, (i + 1 + seed % 3) % 25)).collect();
+        let a = Arc::new(CsrGraph::from_edges(25 + seed as usize, &edges));
+        let b = Arc::clone(&a);
+        let cfg = AlignerConfig::builder().embedding_dim(2).build().unwrap();
+        let s = AlignmentSession::new(a, b, cfg).unwrap();
+        (s.fingerprint(), s)
+    }
+
+    #[test]
+    fn take_insert_cycle_preserves_recency_and_evicts_lru() {
+        let mut lru = SessionLru::new(2);
+        let (fp1, s1) = session(1);
+        let (fp2, s2) = session(2);
+        let (fp3, s3) = session(3);
+        assert!(fp1 != fp2 && fp2 != fp3 && fp1 != fp3);
+
+        assert_eq!(lru.insert(fp1, s1).evicted, 0);
+        assert_eq!(lru.insert(fp2, s2).evicted, 0);
+
+        // Touch fp1 so fp2 becomes least-recent.
+        let s1 = lru.take(fp1).unwrap();
+        assert_eq!(lru.len(), 1);
+        lru.insert(fp1, s1);
+
+        // Third pair evicts fp2, not fp1.
+        assert_eq!(lru.insert(fp3, s3).evicted, 1);
+        assert!(lru.take(fp2).is_none());
+        assert!(lru.take(fp1).is_some());
+        assert!(!lru.is_empty());
+    }
+
+    #[test]
+    fn reinserting_same_fingerprint_replaces_without_eviction() {
+        let mut lru = SessionLru::new(1);
+        let (fp, s) = session(5);
+        lru.insert(fp, s);
+        let (fp_again, s_again) = session(5);
+        assert_eq!(fp, fp_again);
+        assert_eq!(lru.insert(fp_again, s_again).evicted, 0);
+        assert_eq!(lru.len(), 1);
+    }
+}
