@@ -65,6 +65,8 @@ fn main() {
 
     println!("bench_knn: n grid {ns:?}, d grid {ds:?}, k = {k} (records -> {out_path})");
     let mut lines = Vec::new();
+    let mut verified = 0usize;
+    let mut unverified = 0usize;
     for &n in &ns {
         for &d in &ds {
             let (ya, yb) = planted(n, d, SEED ^ ((n as u64) << 8) ^ d as u64);
@@ -104,6 +106,7 @@ fn main() {
                 .num("gflops", gflops);
             match reference_s {
                 Some(r) => {
+                    verified += 1;
                     rec = rec
                         .num("reference_s", r)
                         .num("speedup", r / blocked_s)
@@ -115,19 +118,29 @@ fn main() {
                     );
                 }
                 None => {
+                    unverified += 1;
                     rec = rec.null("reference_s").null("speedup").str(
                         "bit_identical",
                         "unchecked (reference skipped above CUALIGN_KNN_NAIVE_MAX)",
                     );
+                    // No speedup column here on purpose: without the
+                    // reference run there is nothing to compare against,
+                    // and this row must read as unverified, not as fast.
                     println!(
                         "  n {n:>6}, d {d:>4}: blocked {blocked_s:>8.3}s ({gflops:>5.1} GF/s), \
-                         reference skipped (n > {naive_max})"
+                         reference skipped -> UNVERIFIED (n > {naive_max}; raise \
+                         CUALIGN_KNN_NAIVE_MAX to check)"
                     );
                 }
             }
             lines.push(rec.finish());
         }
     }
+    println!(
+        "verified {verified}/{} cells bit-identical against the per-pair reference; \
+         {unverified} UNVERIFIED (reference skipped above n = {naive_max})",
+        verified + unverified
+    );
 
     let mut f = std::fs::File::create(&out_path).expect("record sink is writable");
     for line in &lines {

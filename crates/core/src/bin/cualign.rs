@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cualign align --graph-a A.txt --graph-b B.txt [--density 0.025 | --k 10]
+//!               [--ann-bands B --ann-bits R --ann-probes P]
 //!               [--bp-iters 25] [--dim 128] [--multilevel L]
 //!               [--subspace-anchors N] [--subspace-iters R]
 //!               [--sinkhorn-epsilon E]
@@ -21,7 +22,7 @@
 //! same modes when the flag is absent.
 
 use cualign::baselines::isorank::IsoRankConfig;
-use cualign::{cone_align, isorank_align, AlignError, Aligner, AlignerConfig};
+use cualign::{cone_align, isorank_align, AlignError, Aligner, AlignerConfig, AnnConfig};
 use cualign_graph::{io, stats, CsrGraph};
 use cualign_telemetry::TelemetryMode;
 use rand::rngs::StdRng;
@@ -48,7 +49,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--bp-iters N] [--dim D] [--multilevel L] \\\n                [--subspace-anchors N] [--subspace-iters R] [--sinkhorn-epsilon E] \\\n                [--method cualign|cone|isorank] [--output OUT.tsv] \\\n                [--telemetry off|summary|json:PATH]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
+        "usage:\n  cualign align --graph-a A.txt --graph-b B.txt [--density D | --k K] \\\n                [--ann-bands B --ann-bits R --ann-probes P] \\\n                [--bp-iters N] [--dim D] [--multilevel L] \\\n                [--subspace-anchors N] [--subspace-iters R] [--sinkhorn-epsilon E] \\\n                [--method cualign|cone|isorank] [--output OUT.tsv] \\\n                [--telemetry off|summary|json:PATH]\n  cualign stats --graph G.txt\n  cualign generate --model er|ba|ws|dd|powerlaw --vertices N --edges M [--seed S] --output G.txt"
     );
     ExitCode::from(2)
 }
@@ -118,7 +119,35 @@ fn load(path: &str) -> Result<CsrGraph, String> {
 /// `invalid config:` diagnostic instead of an assert deep in a stage.
 fn config_from_flags(flags: &HashMap<String, String>) -> Result<AlignerConfig, String> {
     let mut builder = AlignerConfig::builder();
-    if let Some(k) = flags.get("k") {
+    let ann_knob = |name: &str| -> Result<Option<usize>, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|e| format!("--{name}: {e}")))
+            .transpose()
+    };
+    let (ann_bands, ann_bits, ann_probes) = (
+        ann_knob("ann-bands")?,
+        ann_knob("ann-bits")?,
+        ann_knob("ann-probes")?,
+    );
+    if ann_bands.is_some() || ann_bits.is_some() || ann_probes.is_some() {
+        // Approximate sparsification: any --ann-* flag switches the rule;
+        // --k supplies the neighbor count, unset knobs take the defaults.
+        if flags.contains_key("density") {
+            return Err("--density conflicts with --ann-* (pick one sparsifier)".to_string());
+        }
+        let defaults = AnnConfig::default();
+        let k = match flags.get("k") {
+            Some(k) => k.parse().map_err(|e| format!("--k: {e}"))?,
+            None => defaults.k,
+        };
+        builder = builder.ann(
+            k,
+            ann_bands.unwrap_or(defaults.bands),
+            ann_bits.unwrap_or(defaults.bits),
+            ann_probes.unwrap_or(defaults.probes),
+        );
+    } else if let Some(k) = flags.get("k") {
         builder = builder.k(k.parse().map_err(|e| format!("--k: {e}"))?);
     } else if let Some(d) = flags.get("density") {
         builder = builder.density(d.parse().map_err(|e| format!("--density: {e}"))?);
@@ -318,6 +347,26 @@ mod tests {
         let f = parse_flags(&v(&["--multilevel", "0"])).unwrap();
         let err = config_from_flags(&f).unwrap_err();
         assert!(err.contains("multilevel.levels"), "{err}");
+    }
+
+    #[test]
+    fn ann_flags_switch_the_sparsifier() {
+        let f = parse_flags(&v(&["--ann-bands", "16", "--ann-bits", "10", "--k", "6"])).unwrap();
+        let cfg = config_from_flags(&f).unwrap();
+        assert!(matches!(
+            cfg.sparsity,
+            SparsityChoice::Ann { k: 6, bands: 16, bits: 10, probes: 2 }
+        ));
+        // Partial knobs fill in defaults; any ann flag alone suffices.
+        let f = parse_flags(&v(&["--ann-probes", "3"])).unwrap();
+        let cfg = config_from_flags(&f).unwrap();
+        assert!(matches!(cfg.sparsity, SparsityChoice::Ann { probes: 3, .. }));
+        // Conflicting with density is a clean error; bad values surface
+        // the builder's validation.
+        let f = parse_flags(&v(&["--ann-bits", "8", "--density", "0.05"])).unwrap();
+        assert!(config_from_flags(&f).unwrap_err().contains("--density"));
+        let f = parse_flags(&v(&["--ann-bits", "40"])).unwrap();
+        assert!(config_from_flags(&f).unwrap_err().contains("sparsity.ann.bits"));
     }
 
     #[test]

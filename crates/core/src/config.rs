@@ -6,9 +6,18 @@ use crate::error::AlignError;
 use crate::multilevel::MultilevelConfig;
 use cualign_bp::{BpConfig, MatcherKind};
 use cualign_embed::{EmbeddingMethod, SubspaceAlignConfig};
-use cualign_graph::BipartiteGraph;
+use cualign_graph::{wl, BipartiteGraph, CsrGraph};
 use cualign_linalg::DenseMatrix;
-use cualign_sparsify::Sparsifier;
+use cualign_sparsify::{AnnConfig, Sparsifier};
+
+/// WL refinement rounds for the ANN variant's structural candidates.
+const WL_ROUNDS: usize = 2;
+/// Seed of the WL label hash (fixed: labels must agree across sessions
+/// for the stage cache to be meaningful).
+const WL_SEED: u64 = 0x5eed_1abe;
+/// Per-label bucket cap on each side; larger buckets are structurally
+/// uninformative and would add quadratically many candidates.
+const WL_MAX_BUCKET: usize = 4;
 
 /// How to size the sparsified bipartite graph `L`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,7 +38,27 @@ pub enum SparsityChoice {
         /// Maximum candidates per A-side vertex.
         cap_per_vertex: usize,
     },
+    /// Approximate `k`-nearest neighbors: banded multi-probe LSH
+    /// rescored exactly, unioned with Weisfeiler–Lehman label-bucket
+    /// candidates when the input graphs are available (see
+    /// `docs/APPROXIMATION.md` for the recall contract). The only
+    /// sub-quadratic rule — the one that scales to million-vertex pairs.
+    Ann {
+        /// Neighbors kept per query row.
+        k: usize,
+        /// Number of independent LSH bands (hash tables).
+        bands: usize,
+        /// Signature bits per band, in `1..=32`.
+        bits: usize,
+        /// Low-margin bit-flip probes per band, at most `bits`.
+        probes: usize,
+    },
 }
+
+/// The configured sparsification rule — `SparsifyMethod::Ann` et al.
+/// (Alias of [`SparsityChoice`]: the builder/docs name for the same
+/// enum.)
+pub type SparsifyMethod = SparsityChoice;
 
 /// Full pipeline configuration. The defaults mirror the paper's preferred
 /// operating point: 2.5% density (quality plateaus at ≤10%, Fig. 4) and a
@@ -118,6 +147,28 @@ impl AlignerConfig {
                     );
                 }
             }
+            SparsityChoice::Ann {
+                k,
+                bands,
+                bits,
+                probes,
+            } => {
+                if k == 0 {
+                    return bad("sparsity.ann.k", "must be at least 1".into());
+                }
+                if bands == 0 {
+                    return bad("sparsity.ann.bands", "must be at least 1".into());
+                }
+                if !(1..=32).contains(&bits) {
+                    return bad("sparsity.ann.bits", format!("must be in 1..=32, got {bits}"));
+                }
+                if probes > bits {
+                    return bad(
+                        "sparsity.ann.probes",
+                        format!("must be <= bits ({bits}), got {probes}"),
+                    );
+                }
+            }
         }
         if !(self.bp.gamma > 0.0 && self.bp.gamma <= 1.0) {
             return bad(
@@ -165,16 +216,60 @@ impl AlignerConfig {
     /// given sizes (the cap for the threshold rule).
     pub fn resolve_k(&self, na: usize, nb: usize) -> usize {
         match self.sparsity {
-            SparsityChoice::K(k) | SparsityChoice::MutualK(k) => k.max(1),
+            SparsityChoice::K(k) | SparsityChoice::MutualK(k) | SparsityChoice::Ann { k, .. } => {
+                k.max(1)
+            }
             SparsityChoice::Density(d) => cualign_sparsify::density_to_k(na, nb, d),
             SparsityChoice::Threshold { cap_per_vertex, .. } => cap_per_vertex.max(1),
+        }
+    }
+
+    /// The ANN knobs as a sparsify-crate config, if the ANN rule is
+    /// active. The multilevel driver uses this to route its projection
+    /// bands' orphan fallback through the approximate kernel.
+    pub(crate) fn ann_config(&self) -> Option<AnnConfig> {
+        match self.sparsity {
+            SparsityChoice::Ann {
+                k,
+                bands,
+                bits,
+                probes,
+            } => Some(AnnConfig {
+                k: k.max(1),
+                bands,
+                bits,
+                probes,
+                ..AnnConfig::default()
+            }),
+            _ => None,
         }
     }
 
     /// Builds the sparsified alignment graph from aligned embeddings under
     /// the configured rule. Shared by the cuAlign pipeline and the
     /// cone-align baseline so both always compare on the same `L`.
+    ///
+    /// Embedding-only entry point: for the ANN rule this skips the
+    /// Weisfeiler–Lehman structural candidates (they need the graphs) —
+    /// callers that hold the graph pair should use
+    /// [`AlignerConfig::build_l_with_graphs`], which the session does.
     pub fn build_l(&self, ya: &DenseMatrix, yb: &DenseMatrix) -> BipartiteGraph {
+        self.build_l_with_graphs(ya, yb, None)
+    }
+
+    /// [`AlignerConfig::build_l`] plus the input graphs: under the ANN
+    /// rule, same-label Weisfeiler–Lehman pairs
+    /// ([`cualign_graph::wl::wl_candidates`]) are unioned into `L` with
+    /// exactly-scored weights, so structurally pinned pairs survive even
+    /// when their embeddings hash apart. Graphs whose vertex counts
+    /// disagree with the embedding rows are ignored (defensive: some
+    /// baselines re-embed subsets). Exact rules ignore `graphs` entirely.
+    pub fn build_l_with_graphs(
+        &self,
+        ya: &DenseMatrix,
+        yb: &DenseMatrix,
+        graphs: Option<(&CsrGraph, &CsrGraph)>,
+    ) -> BipartiteGraph {
         let rule = match self.sparsity {
             SparsityChoice::K(_) | SparsityChoice::Density(_) => Sparsifier::UnionKnn {
                 k: self.resolve_k(ya.rows(), yb.rows()),
@@ -187,6 +282,29 @@ impl AlignerConfig {
                 min_weight,
                 cap_per_vertex: cap_per_vertex.max(1),
             },
+            SparsityChoice::Ann {
+                k,
+                bands,
+                bits,
+                probes,
+            } => {
+                let ann = AnnConfig {
+                    k: k.max(1),
+                    bands,
+                    bits,
+                    probes,
+                    ..AnnConfig::default()
+                };
+                let wl_pairs = match graphs {
+                    Some((ga, gb))
+                        if ga.num_vertices() == ya.rows() && gb.num_vertices() == yb.rows() =>
+                    {
+                        wl::wl_candidates(ga, gb, WL_ROUNDS, WL_SEED, WL_MAX_BUCKET)
+                    }
+                    _ => Vec::new(),
+                };
+                return cualign_sparsify::build_alignment_graph_ann(ya, yb, &ann, &wl_pairs);
+            }
         };
         cualign_sparsify::build_with(ya, yb, &rule)
     }
@@ -289,6 +407,31 @@ impl AlignerConfigBuilder {
     /// Sparsifies to mutual `k` nearest neighbors (intersection rule).
     pub fn mutual_k(mut self, k: usize) -> Self {
         self.cfg.sparsity = SparsityChoice::MutualK(k);
+        self
+    }
+
+    /// Sparsifies approximately: banded multi-probe LSH candidates
+    /// rescored exactly, unioned with WL structural candidates — the
+    /// rule for graph pairs too large for exact kNN. `bits` must be in
+    /// `1..=32` and `probes <= bits` (`build()` rejects otherwise):
+    ///
+    /// ```
+    /// use cualign::{AlignerConfig, SparsifyMethod};
+    /// let cfg = AlignerConfig::builder().ann(10, 8, 12, 2).build().unwrap();
+    /// assert!(matches!(
+    ///     cfg.sparsity,
+    ///     SparsifyMethod::Ann { k: 10, bands: 8, bits: 12, probes: 2 }
+    /// ));
+    /// assert!(AlignerConfig::builder().ann(10, 8, 0, 0).build().is_err());
+    /// assert!(AlignerConfig::builder().ann(10, 8, 4, 5).build().is_err());
+    /// ```
+    pub fn ann(mut self, k: usize, bands: usize, bits: usize, probes: usize) -> Self {
+        self.cfg.sparsity = SparsityChoice::Ann {
+            k,
+            bands,
+            bits,
+            probes,
+        };
         self
     }
 
@@ -471,6 +614,10 @@ mod tests {
         }
         assert!(AlignerConfig::builder().k(0).build().is_err());
         assert!(AlignerConfig::builder().mutual_k(0).build().is_err());
+        assert!(AlignerConfig::builder().ann(0, 8, 12, 2).build().is_err());
+        assert!(AlignerConfig::builder().ann(10, 0, 12, 2).build().is_err());
+        assert!(AlignerConfig::builder().ann(10, 8, 33, 2).build().is_err());
+        assert!(AlignerConfig::builder().ann(10, 8, 12, 13).build().is_err());
         assert!(AlignerConfig::builder().threshold(0.5, 0).build().is_err());
         assert!(AlignerConfig::builder().threshold(1.5, 8).build().is_err());
         assert!(AlignerConfig::builder().embedding_dim(0).build().is_err());
@@ -562,5 +709,33 @@ mod tests {
             assert!(mutual.edge_id(i, i).is_some());
             assert!(thresh.edge_id(i, i).is_some());
         }
+    }
+
+    #[test]
+    fn ann_rule_builds_l_with_and_without_graphs() {
+        use cualign_linalg::DenseMatrix;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(8);
+        let ya = DenseMatrix::gaussian(40, 8, &mut rng);
+        let yb = ya.clone();
+        let cfg = AlignerConfig::builder().ann(4, 8, 6, 2).build().unwrap();
+        assert_eq!(cfg.resolve_k(40, 40), 4);
+        // Identical embeddings hash identically, so every self pair
+        // collides in every band and the diagonal survives.
+        let l = cfg.build_l(&ya, &yb);
+        for i in 0..40u32 {
+            assert!(l.edge_id(i, i).is_some(), "diagonal ({i},{i}) pruned");
+        }
+        // A path graph has small WL buckets near its endpoints; handing
+        // the graphs over can only add (structural) candidates.
+        let edges: Vec<(u32, u32)> = (0..39u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(40, &edges);
+        let l2 = cfg.build_l_with_graphs(&ya, &yb, Some((&g, &g)));
+        assert!(l2.num_edges() >= l.num_edges());
+        // Mismatched graph sizes are ignored, not a panic.
+        let small = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let l3 = cfg.build_l_with_graphs(&ya, &yb, Some((&small, &small)));
+        assert_eq!(l3.num_edges(), l.num_edges());
     }
 }

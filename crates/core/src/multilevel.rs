@@ -79,7 +79,7 @@ use cualign_graph::{BipartiteGraph, CsrGraph, VertexId};
 use cualign_linalg::{vecops, DenseMatrix};
 use cualign_matching::{locally_dominant_parallel, Matching};
 use cualign_overlap::OverlapMatrix;
-use cualign_sparsify::{knn_candidates, KnnDirection};
+use cualign_sparsify::{ann_candidates, knn_candidates, AnnConfig, KnnDirection};
 use cualign_telemetry::Registry;
 use rayon::prelude::*;
 
@@ -115,6 +115,12 @@ impl Default for MultilevelConfig {
 /// Per-vertex neighbor scan cap in the band vote accumulation, so a hub
 /// vertex cannot turn candidate generation quadratic.
 const MAX_NEIGHBOR_SCAN: usize = 128;
+
+/// Below this many target-side vertices the band's orphan fallback uses
+/// the exact kNN kernel even under the ANN sparsity rule — LSH hashing
+/// overhead only pays off once the exact `O(n_orphans · n_b · d)` sweep
+/// is the bigger cost.
+const ANN_FALLBACK_MIN_TARGETS: usize = 4096;
 
 /// Runs the multilevel pipeline on `a` and `b` under `cfg` (which must
 /// carry `Some` [`AlignerConfig::multilevel`]; defaults are used
@@ -186,6 +192,7 @@ pub fn align_multilevel_with_registry(
         (res, (sub.ya.clone(), sub.yb.clone()))
     };
     let (mut emb_a, mut emb_b) = coarse_emb;
+    let ann = cfg.ann_config();
 
     let mut mapping = coarse_res.mapping;
     let mut timings = coarse_res.timings;
@@ -214,6 +221,7 @@ pub fn align_multilevel_with_registry(
                 &mapping,
                 ml.band_k,
                 Some((&emb_a, &emb_b)),
+                ann.as_ref(),
             )
         });
         registry
@@ -332,6 +340,7 @@ fn build_band(
     coarse_mapping: &[Option<VertexId>],
     band_k: usize,
     embeddings: Option<(&DenseMatrix, &DenseMatrix)>,
+    ann: Option<&AnnConfig>,
 ) -> Band {
     let na = ga.num_vertices();
     let seeds_of = |u: VertexId| -> &[VertexId] {
@@ -411,7 +420,20 @@ fn build_band(
             for (i, &u) in orphans.iter().enumerate() {
                 queries.row_mut(i).copy_from_slice(ea.row(u as usize));
             }
-            let knn = knn_candidates(&queries, eb, band_k.max(1), KnnDirection::AtoB);
+            // Under the ANN sparsity rule, big levels route the orphan
+            // rescue through the approximate kernel too — an exact sweep
+            // here would reintroduce the O(n²d) term the rule exists to
+            // avoid. Small levels stay exact (hashing overhead dominates).
+            let knn = match ann {
+                Some(cfg) if gb.num_vertices() > ANN_FALLBACK_MIN_TARGETS => {
+                    let fb = AnnConfig {
+                        k: band_k.max(1),
+                        ..*cfg
+                    };
+                    ann_candidates(&queries, eb, &fb, KnnDirection::AtoB)
+                }
+                _ => knn_candidates(&queries, eb, band_k.max(1), KnnDirection::AtoB),
+            };
             fallback_pairs = knn.len();
             triples.extend(
                 knn.into_iter()
@@ -515,7 +537,7 @@ mod tests {
         let cn = level.graph.num_vertices();
         // Identity mapping at the coarse level.
         let mapping: Vec<Option<VertexId>> = (0..cn as VertexId).map(Some).collect();
-        let band = build_band(&g, &g, level, level, &mapping, 8, None);
+        let band = build_band(&g, &g, level, level, &mapping, 8, None, None);
         assert_eq!(band.projected_pairs, 80);
         // Every vertex's own seed set (its siblings) must appear.
         for u in 0..80u32 {

@@ -185,6 +185,18 @@ fn sparsity_fingerprint(upstream: u64, s: &SparsityChoice) -> u64 {
             h.f64(min_weight);
             h.usize(cap_per_vertex);
         }
+        SparsityChoice::Ann {
+            k,
+            bands,
+            bits,
+            probes,
+        } => {
+            h.u64(5);
+            h.usize(k);
+            h.usize(bands);
+            h.usize(bits);
+            h.usize(probes);
+        }
     }
     h.finish()
 }
@@ -638,9 +650,13 @@ impl<G: Borrow<CsrGraph>> AlignmentSession<G> {
         }
         self.tele.sparsify.misses.inc();
         let sub = &cached(&self.subspace, "subspace")?.value;
-        let (l, seconds) = self
-            .registry
-            .timed("session.sparsify", || self.cfg.build_l(&sub.ya, &sub.yb));
+        // Hand the graphs over so the ANN rule can union in its
+        // Weisfeiler–Lehman structural candidates; exact rules ignore
+        // them.
+        let (l, seconds) = self.registry.timed("session.sparsify", || {
+            self.cfg
+                .build_l_with_graphs(&sub.ya, &sub.yb, Some((self.a.borrow(), self.b.borrow())))
+        });
         if l.num_edges() == 0 {
             return Err(AlignError::EmptySparsification);
         }
@@ -806,6 +822,25 @@ mod tests {
         assert_ne!(sp, sparsity_fingerprint(8, &SparsityChoice::K(5)));
         // Same k under a different rule is a different artifact.
         assert_ne!(sp, sparsity_fingerprint(7, &SparsityChoice::MutualK(5)));
+
+        // Every ANN knob is a fingerprint ingredient.
+        let ann = |k, bands, bits, probes| {
+            sparsity_fingerprint(
+                7,
+                &SparsityChoice::Ann {
+                    k,
+                    bands,
+                    bits,
+                    probes,
+                },
+            )
+        };
+        let base_ann = ann(5, 8, 12, 2);
+        assert_ne!(base_ann, sp, "ANN k=5 must differ from exact K(5)");
+        assert_ne!(base_ann, ann(6, 8, 12, 2));
+        assert_ne!(base_ann, ann(5, 9, 12, 2));
+        assert_ne!(base_ann, ann(5, 8, 13, 2));
+        assert_ne!(base_ann, ann(5, 8, 12, 3));
 
         let bp = BpConfig::default();
         let mut bp2 = bp;

@@ -30,7 +30,7 @@
 //!   [`pairwise_cost`]; the seed scalar loop survives as
 //!   [`pairwise_cost_reference`],
 //! * the Sinkhorn solve runs the blocked
-//!   [`sinkhorn_with`](cualign_linalg::sinkhorn_with) through one reused
+//!   [`sinkhorn_with`] through one reused
 //!   [`SinkhornWorkspace`] for the whole alternation (the annealed
 //!   schedule solves `iterations + 1` same-shape problems),
 //! * [`structural_features`] walks the CSR's **sorted** adjacency — merge
@@ -483,7 +483,7 @@ pub fn align_subspaces(
 
 /// As [`align_subspaces`], but running the seed implementation end to
 /// end: the pinned reference kernels ([`pairwise_cost_reference`] and
-/// [`sinkhorn_reference`](cualign_linalg::sinkhorn_reference)), the
+/// [`sinkhorn_reference`]), the
 /// seed's dense Procrustes projection, and the seed's full sweep budget
 /// for the feature-seeded init solve. This is the end-to-end oracle for
 /// `tests/prop_subspace.rs` (pinned on planted instances, where both

@@ -148,47 +148,6 @@ impl CoarseningHierarchy {
     }
 }
 
-/// FNV-1a of `v` keyed by `seed`.
-fn mix(seed: u64, v: u64) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
-    for b in v.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    h
-}
-
-/// Order-invariant structural vertex keys: `rounds` of
-/// Weisfeiler–Lehman-style hashing seeded from degrees, with neighbor
-/// keys (salted by the incident edge weight) folded in through a
-/// commutative wrapping sum. Isomorphic weighted graphs produce
-/// identical key *multisets* regardless of vertex numbering, so sorting
-/// or tie-breaking on these keys is permutation-equivariant — the
-/// property HEM needs to contract corresponding pairs on both sides of
-/// a permuted-pair instance. Vertices in the same orbit (automorphic)
-/// share a key by construction; only those fall back to id ordering.
-fn wl_keys(g: &CsrGraph, edge_weights: &[f64], rounds: usize, seed: u64) -> Vec<u64> {
-    let n = g.num_vertices();
-    let offsets = g.offsets();
-    let mut key: Vec<u64> = (0..n)
-        .map(|v| mix(seed, g.degree(v as VertexId) as u64))
-        .collect();
-    for r in 0..rounds {
-        let salt = seed ^ (r as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        let next: Vec<u64> = (0..n)
-            .map(|v| {
-                let mut agg = 0u64;
-                for (i, &u) in g.neighbors(v as VertexId).iter().enumerate() {
-                    let w_bits = edge_weights[offsets[v] + i].to_bits();
-                    agg = agg.wrapping_add(mix(salt ^ w_bits, key[u as usize]));
-                }
-                mix(key[v], agg)
-            })
-            .collect();
-        key = next;
-    }
-    key
-}
 
 /// One HEM pass: returns `mate[v]` (or [`UNMATCHED`]). Vertices are
 /// visited in `(degree, structural key)` order — low-degree fringe
@@ -196,7 +155,7 @@ fn wl_keys(g: &CsrGraph, edge_weights: &[f64], rounds: usize, seed: u64) -> Vec<
 /// neighbor (ties: smaller structural key, then smaller id).
 fn hem_match(g: &CsrGraph, edge_weights: &[f64], seed: u64) -> Vec<VertexId> {
     let n = g.num_vertices();
-    let keys = wl_keys(g, edge_weights, 2, seed);
+    let keys = crate::wl::weighted_keys(g, edge_weights, 2, seed);
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.sort_unstable_by_key(|&v| (g.degree(v), keys[v as usize], v));
     let mut mate = vec![UNMATCHED; n];

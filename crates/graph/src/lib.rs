@@ -20,6 +20,9 @@
 //! * [`coarsen`] — heavy-edge-matching graph coarsening
 //!   ([`CoarseningHierarchy`]), the contraction half of the multilevel
 //!   coarsen–align–project–refine wrapper driven from the core crate.
+//! * [`wl`] — Weisfeiler–Lehman label refinement shared by coarsening's
+//!   structural tie-breaks and the approximate sparsifier's cross-graph
+//!   label-bucket candidate generator ([`wl::wl_candidates`]).
 //! * [`noise`] — edge perturbation for robustness experiments.
 //! * [`binning`] — degree-based binning of vertices/work-items, the load
 //!   balancing strategy of the paper's §5 (shared with the GPU simulator).
@@ -45,6 +48,7 @@ pub mod io;
 pub mod noise;
 pub mod permutation;
 pub mod stats;
+pub mod wl;
 
 pub use bipartite::{BipartiteGraph, LEdge, Side};
 pub use coarsen::{CoarseLevel, CoarsenConfig, CoarseningHierarchy};

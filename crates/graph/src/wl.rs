@@ -1,0 +1,218 @@
+//! Weisfeiler–Lehman label refinement shared by coarsening and the
+//! approximate sparsifier's candidate generator.
+//!
+//! Both consumers need the same primitive: order-invariant structural
+//! vertex keys computed by iterated neighborhood hashing. Coarsening
+//! ([`crate::coarsen`]) uses *weighted* keys as permutation-equivariant
+//! tie-breaks inside heavy-edge matching; the ANN sparsifier unions its
+//! LSH candidates with *cross-graph label buckets* — pairs `(a, b)`
+//! whose refined labels agree, the WLAlign idea — produced by
+//! [`wl_candidates`]. Keeping one implementation here guarantees the
+//! two stages agree on what "structurally equivalent" means.
+//!
+//! The refinement is exact structural hashing, not an approximation:
+//! vertices in the same WL equivalence class after `rounds` iterations
+//! get identical labels on any machine (the hash is a fixed FNV-1a
+//! chain, no floats beyond the edge-weight bits that salt it). What
+//! *is* heuristic is using label agreement as an alignment candidate
+//! signal — that contract lives in `docs/APPROXIMATION.md`.
+
+use std::collections::HashMap;
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// FNV-1a of `v` keyed by `seed`.
+pub(crate) fn mix(seed: u64, v: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Shared refinement loop: keys seeded from degrees, then `rounds` of
+/// folding neighbor keys (salted per round, and by the incident edge
+/// weight when `edge_weights` is given) through a commutative wrapping
+/// sum. `None` edge weights behave exactly like a uniform weight of
+/// `1.0`, so unweighted callers agree with weighted callers on
+/// unit-weight graphs bit for bit.
+fn refine(g: &CsrGraph, edge_weights: Option<&[f64]>, rounds: usize, seed: u64) -> Vec<u64> {
+    let n = g.num_vertices();
+    let offsets = g.offsets();
+    let unit = 1.0f64.to_bits();
+    let mut key: Vec<u64> = (0..n)
+        .map(|v| mix(seed, g.degree(v as VertexId) as u64))
+        .collect();
+    for r in 0..rounds {
+        let salt = seed ^ (r as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let next: Vec<u64> = (0..n)
+            .map(|v| {
+                let mut agg = 0u64;
+                for (i, &u) in g.neighbors(v as VertexId).iter().enumerate() {
+                    let w_bits = edge_weights.map_or(unit, |w| w[offsets[v] + i].to_bits());
+                    agg = agg.wrapping_add(mix(salt ^ w_bits, key[u as usize]));
+                }
+                mix(key[v], agg)
+            })
+            .collect();
+        key = next;
+    }
+    key
+}
+
+/// Order-invariant structural vertex keys for a *weighted* graph:
+/// `rounds` of Weisfeiler–Lehman-style hashing seeded from degrees,
+/// with neighbor keys (salted by the incident edge weight) folded in
+/// through a commutative wrapping sum. Isomorphic weighted graphs
+/// produce identical key *multisets* regardless of vertex numbering,
+/// so sorting or tie-breaking on these keys is
+/// permutation-equivariant — the property HEM needs to contract
+/// corresponding pairs on both sides of a permuted-pair instance.
+/// Vertices in the same orbit (automorphic) share a key by
+/// construction; only those fall back to id ordering.
+pub(crate) fn weighted_keys(
+    g: &CsrGraph,
+    edge_weights: &[f64],
+    rounds: usize,
+    seed: u64,
+) -> Vec<u64> {
+    refine(g, Some(edge_weights), rounds, seed)
+}
+
+/// Weisfeiler–Lehman labels of an unweighted graph after `rounds` of
+/// refinement.
+///
+/// Labels are deterministic in `(graph, rounds, seed)` and
+/// permutation-equivariant: relabeling the vertices permutes the label
+/// vector the same way. Two vertices share a label iff the iterated
+/// hash could not distinguish their `rounds`-hop neighborhoods (WL
+/// equivalence up to hash collisions, which at 64 bits are negligible
+/// for any graph that fits in memory).
+pub fn wl_labels(g: &CsrGraph, rounds: usize, seed: u64) -> Vec<u64> {
+    refine(g, None, rounds, seed)
+}
+
+/// Cross-graph alignment candidates from matching WL labels, à la
+/// WLAlign: every pair `(a, b)` with `label_a[a] == label_b[b]` is a
+/// candidate, provided the label's bucket holds at most `max_bucket`
+/// vertices on *each* side (larger buckets are structurally
+/// uninformative — e.g. all degree-2 path interiors — and would blow
+/// up quadratically).
+///
+/// The output is sorted by `(a, b)` and deterministic in
+/// `(ga, gb, rounds, seed, max_bucket)`. On a permuted pair the true
+/// match of every vertex in a small-enough bucket is guaranteed to be
+/// among its candidates, because labels are permutation-equivariant —
+/// this is what lets the ANN sparsifier recover structurally pinned
+/// pairs that embedding-space LSH may miss.
+pub fn wl_candidates(
+    ga: &CsrGraph,
+    gb: &CsrGraph,
+    rounds: usize,
+    seed: u64,
+    max_bucket: usize,
+) -> Vec<(VertexId, VertexId)> {
+    let la = wl_labels(ga, rounds, seed);
+    let lb = wl_labels(gb, rounds, seed);
+    let mut buckets_b: HashMap<u64, Vec<VertexId>> = HashMap::new();
+    for (v, &label) in lb.iter().enumerate() {
+        buckets_b.entry(label).or_default().push(v as VertexId);
+    }
+    let mut buckets_a: HashMap<u64, Vec<VertexId>> = HashMap::new();
+    for (v, &label) in la.iter().enumerate() {
+        buckets_a.entry(label).or_default().push(v as VertexId);
+    }
+    let mut pairs = Vec::new();
+    // Iterate A-side vertices in id order (not HashMap order) so the
+    // output is deterministic without a final sort pass.
+    for (v, &label) in la.iter().enumerate() {
+        let Some(bs) = buckets_b.get(&label) else {
+            continue;
+        };
+        if bs.len() > max_bucket || buckets_a[&label].len() > max_bucket {
+            continue;
+        }
+        for &b in bs {
+            pairs.push((v as VertexId, b));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi_gnm;
+    use crate::permutation::Permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn er(n: usize, m: usize, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        erdos_renyi_gnm(n, m, &mut rng)
+    }
+
+    fn permuted_copy(g: &CsrGraph, seed: u64) -> (CsrGraph, Permutation) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(g.num_vertices(), &mut rng);
+        (p.apply_to_graph(g), p)
+    }
+
+    #[test]
+    fn labels_are_deterministic_and_seed_sensitive() {
+        let g = er(64, 160, 7);
+        assert_eq!(wl_labels(&g, 2, 11), wl_labels(&g, 2, 11));
+        assert_ne!(wl_labels(&g, 2, 11), wl_labels(&g, 2, 12));
+    }
+
+    #[test]
+    fn labels_are_permutation_equivariant() {
+        let g = er(80, 240, 3);
+        let (h, p) = permuted_copy(&g, 99);
+        let lg = wl_labels(&g, 2, 5);
+        let lh = wl_labels(&h, 2, 5);
+        for v in 0..g.num_vertices() {
+            assert_eq!(lg[v], lh[p.apply(v as VertexId) as usize]);
+        }
+    }
+
+    #[test]
+    fn candidates_contain_true_pairs_on_permuted_copy() {
+        let g = er(60, 200, 21);
+        let (h, p) = permuted_copy(&g, 4);
+        let cands = wl_candidates(&g, &h, 2, 5, 4);
+        // Every vertex whose label bucket survived the cap must list its
+        // true image among its candidates.
+        let labels = wl_labels(&g, 2, 5);
+        let mut sizes: HashMap<u64, usize> = HashMap::new();
+        for &l in &labels {
+            *sizes.entry(l).or_default() += 1;
+        }
+        let mut covered = 0usize;
+        for v in 0..g.num_vertices() as VertexId {
+            if sizes[&labels[v as usize]] <= 4 {
+                assert!(
+                    cands.contains(&(v, p.apply(v))),
+                    "true pair ({v}, {}) missing",
+                    p.apply(v)
+                );
+                covered += 1;
+            }
+        }
+        assert!(covered > 0, "test graph too symmetric to exercise anything");
+    }
+
+    #[test]
+    fn oversized_buckets_are_dropped() {
+        // A cycle: every vertex has the same 2-regular neighborhood, so
+        // all labels collide into one bucket larger than any sane cap.
+        let edges: Vec<(VertexId, VertexId)> = (0..32u32).map(|i| (i, (i + 1) % 32)).collect();
+        let g = CsrGraph::from_edges(32, &edges);
+        assert!(wl_candidates(&g, &g, 2, 5, 4).is_empty());
+        // With the cap lifted the single bucket produces the full cross
+        // product.
+        assert_eq!(wl_candidates(&g, &g, 2, 5, 32).len(), 32 * 32);
+    }
+}

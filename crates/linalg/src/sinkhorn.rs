@@ -13,9 +13,9 @@
 //!   runs. It precomputes the scaled kernel `−C/ε` once (one reciprocal
 //!   multiply per element for the whole solve, instead of a division per
 //!   element per sweep), keeps the dual potentials in `/ε` units so the
-//!   inner loops are pure add/max/[`exp_fast`](crate::fastexp::exp_fast),
+//!   inner loops are pure add/max/[`exp_fast`],
 //!   skips the polynomial entirely for arguments below the
-//!   [`EXP_UNDERFLOW`](crate::fastexp::EXP_UNDERFLOW) cutoff (past
+//!   [`EXP_UNDERFLOW`] cutoff (past
 //!   convergence the annealed kernel has one surviving entry per row —
 //!   the skip turns each exp-sum sweep into a compare sweep, and it is
 //!   exact: those terms are hard zeros under `exp_fast`'s flush-to-zero

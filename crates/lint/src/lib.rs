@@ -21,6 +21,7 @@
 //! | `oracle-pinning` | `docs/oracle_manifest.txt` rows (kernel, oracle, property test) exist and the test references both symbols |
 //! | `telemetry-names` | registered instrument/span names and `docs/telemetry_names.txt` agree bidirectionally |
 //! | `unsafe-hygiene` | `unsafe` and `static mut` are forbidden workspace-wide |
+//! | `doc-links` | relative markdown links in README/DESIGN/EXPERIMENTS/`docs/*.md` resolve to real files |
 //!
 //! ## Escape hatch
 //!
@@ -51,6 +52,7 @@ pub const ALL_RULES: &[&str] = &[
     rules::oracle_pinning::RULE,
     rules::telemetry_names::RULE,
     rules::unsafe_hygiene::RULE,
+    rules::doc_links::RULE,
 ];
 
 /// One finding: a file, a line (0 = whole file / manifest), the rule
@@ -130,6 +132,9 @@ pub fn run(root: &Path, enabled: &[&str]) -> Result<Vec<Diagnostic>, String> {
     }
     if on(rules::oracle_pinning::RULE) {
         diags.extend(rules::oracle_pinning::check(&files, root));
+    }
+    if on(rules::doc_links::RULE) {
+        diags.extend(rules::doc_links::check(root));
     }
 
     diags.sort_by(|a, b| {

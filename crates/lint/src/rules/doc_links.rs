@@ -1,0 +1,132 @@
+//! `doc-links`: relative markdown links in the documentation set
+//! resolve to real files.
+//!
+//! The docs cross-reference each other heavily (README →
+//! `docs/APPROXIMATION.md` → `docs/oracle_manifest.txt` → bench JSON
+//! artifacts), and a rename anywhere silently strands the readers the
+//! exactness contract is written for. This rule scans `README.md`,
+//! `DESIGN.md`, `EXPERIMENTS.md`, and every `docs/*.md` file for inline
+//! `[text](target)` links and fails the gate when a relative target
+//! (resolved against the linking file's directory) does not exist.
+//! External schemes (`http:`, `https:`, `mailto:`) and pure `#fragment`
+//! anchors are skipped, fragments are stripped before resolution, and
+//! fenced code blocks are ignored — doc examples are not navigation.
+//!
+//! The workspace walker only collects `.rs` files (and skips `docs/`
+//! outright), so this rule reads the markdown set directly from disk.
+
+use crate::walk::relative;
+use crate::Diagnostic;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Rule name as written in diagnostics.
+pub const RULE: &str = "doc-links";
+
+/// Root-level markdown files in scope (the navigable doc set; scratch
+/// files like CHANGES.md / ISSUE.md are not part of it).
+const ROOT_DOCS: &[&str] = &["README.md", "DESIGN.md", "EXPERIMENTS.md"];
+
+/// The documentation files to scan: [`ROOT_DOCS`] plus `docs/*.md`,
+/// sorted for deterministic diagnostics.
+fn doc_set(root: &Path) -> Vec<PathBuf> {
+    let mut docs: Vec<PathBuf> = ROOT_DOCS
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.is_file())
+        .collect();
+    if let Ok(entries) = fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|e| e == "md") && p.is_file() {
+                docs.push(p);
+            }
+        }
+    }
+    docs.sort();
+    docs
+}
+
+/// Extracts the inline-link targets of one line: every `](target)`
+/// occurrence, which covers both `[text](t)` and images `![alt](t)`.
+fn link_targets(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(close) = line[i + 2..].find(')') {
+                out.push(line[i + 2..i + 2 + close].to_string());
+                i += 2 + close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the rule over the documentation set under `root`.
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for path in doc_set(root) {
+        let rel = relative(root, &path);
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let dir = path.parent().unwrap_or(root);
+        let dir_rel = match relative(root, dir) {
+            s if s.is_empty() => ".".to_string(),
+            s => s,
+        };
+        let mut in_fence = false;
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in link_targets(line) {
+                let target = target.trim();
+                if target.is_empty()
+                    || target.starts_with('#')
+                    || target.contains("://")
+                    || target.starts_with("mailto:")
+                {
+                    continue;
+                }
+                let file_part = target.split('#').next().unwrap_or(target);
+                if !dir.join(file_part).exists() {
+                    diags.push(Diagnostic {
+                        file: rel.clone(),
+                        line: idx + 1,
+                        rule: RULE,
+                        message: format!(
+                            "relative link target `{file_part}` does not exist \
+                             (resolved against `{dir_rel}`)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_are_extracted_per_line() {
+        let line = "see [a](x.md) and ![img](../y.png), not [b](#frag).";
+        assert_eq!(link_targets(line), vec!["x.md", "../y.png", "#frag"]);
+    }
+
+    #[test]
+    fn lines_without_links_yield_nothing() {
+        assert!(link_targets("plain text ] ( separated").is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! The rule implementations and the token-pattern helpers they share.
 
+pub mod doc_links;
 pub mod float_ordering;
 pub mod no_panic;
 pub mod oracle_pinning;

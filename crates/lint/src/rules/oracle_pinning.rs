@@ -8,9 +8,12 @@
 //! `docs/oracle_manifest.txt` — `kernel  oracle  property-test-file` —
 //! and this rule enforces it: the manifest must cover the required
 //! kernel set, each oracle must be named like a reference
-//! (`*_reference` / `*_naive`), and the named property-test file must
-//! actually reference both symbols. Deleting an oracle, its test, or a
-//! manifest row fails the gate.
+//! (`*_reference` / `*_naive`) — or be itself the kernel of another
+//! manifest row (transitive pinning: the ANN sparsifier's recall oracle
+//! is the exact `knn_candidates` kernel, which row 2 pins to its own
+//! naive reference) — and the named property-test file must actually
+//! reference both symbols. Deleting an oracle, its test, or a manifest
+//! row fails the gate.
 
 use crate::lexer::Tok;
 use crate::source::SourceFile;
@@ -27,7 +30,13 @@ pub const MANIFEST: &str = "docs/oracle_manifest.txt";
 
 /// Kernels that must have a manifest row (matched against the last
 /// `::` segment of the row's kernel column).
-pub const REQUIRED_KERNELS: &[&str] = &["matmul", "knn_candidates", "sinkhorn", "pairwise_cost"];
+pub const REQUIRED_KERNELS: &[&str] = &[
+    "matmul",
+    "knn_candidates",
+    "ann_candidates",
+    "sinkhorn",
+    "pairwise_cost",
+];
 
 fn diag(line: usize, message: String) -> Diagnostic {
     Diagnostic {
@@ -50,6 +59,16 @@ pub fn check(files: &[SourceFile], root: &Path) -> Vec<Diagnostic> {
         }
     };
 
+    // First pass: the kernel set, so an oracle that is itself a pinned
+    // kernel of another row (transitive pinning) passes the name check.
+    let kernel_names: HashSet<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split_whitespace().next())
+        .map(|k| k.rsplit("::").next().unwrap_or(k))
+        .collect();
+
     let mut covered: HashSet<&str> = HashSet::new();
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -68,10 +87,16 @@ pub fn check(files: &[SourceFile], root: &Path) -> Vec<Diagnostic> {
         let kernel_name = kernel.rsplit("::").next().unwrap_or(kernel);
         covered.insert(kernel_name);
 
-        if !oracle.ends_with("_reference") && !oracle.ends_with("_naive") {
+        if !oracle.ends_with("_reference")
+            && !oracle.ends_with("_naive")
+            && !(kernel_names.contains(oracle) && *oracle != kernel_name)
+        {
             diags.push(diag(
                 lineno,
-                format!("oracle `{oracle}` for `{kernel}` must be named *_reference or *_naive"),
+                format!(
+                    "oracle `{oracle}` for `{kernel}` must be named *_reference or *_naive, \
+                     or be the kernel of another manifest row"
+                ),
             ));
         }
         let Some(test) = files.iter().find(|f| f.rel == *test_file) else {

@@ -48,6 +48,11 @@ fn oracle_pinning_fixture() {
     check_fixture("oracle_pinning", "oracle-pinning");
 }
 
+#[test]
+fn doc_links_fixture() {
+    check_fixture("doc_links", "doc-links");
+}
+
 /// The escape hatch needs a reason: an `allow(no-panic)` with none must
 /// leave the violation standing AND report the directive itself, while
 /// the reasoned allow two functions earlier suppresses cleanly.

@@ -19,7 +19,7 @@
 
 use crate::json::Json;
 use cualign::ingest::graph_from_edges;
-use cualign::{AlignError, AlignerConfig, AlignmentResult};
+use cualign::{AlignError, AlignerConfig, AlignmentResult, AnnConfig};
 use cualign_graph::CsrGraph;
 
 fn proto(reason: String) -> AlignError {
@@ -85,12 +85,35 @@ pub fn parse_config(patch: Option<&Json>) -> Result<AlignerConfig, AlignError> {
             "config.k and config.density are mutually exclusive".to_string(),
         ));
     }
+    // The sparsifier knobs compose (k + any ann_* field select the ANN
+    // rule together), so they are collected first and applied once after
+    // the scalar fields — the loop below must stay order-independent
+    // because JSON objects carry no field order guarantee.
+    let mut k: Option<usize> = None;
+    let mut ann_bands: Option<usize> = None;
+    let mut ann_bits: Option<usize> = None;
+    let mut ann_probes: Option<usize> = None;
     for (key, value) in fields {
         builder = match key.as_str() {
             "dim" => builder.embedding_dim(usize_field(value, "config.dim")?),
             "seed" => builder.embedding_seed(u64_field(value, "config.seed")?),
-            "k" => builder.k(usize_field(value, "config.k")?),
+            "k" => {
+                k = Some(usize_field(value, "config.k")?);
+                builder
+            }
             "density" => builder.density(f64_field(value, "config.density")?),
+            "ann_bands" => {
+                ann_bands = Some(usize_field(value, "config.ann_bands")?);
+                builder
+            }
+            "ann_bits" => {
+                ann_bits = Some(usize_field(value, "config.ann_bits")?);
+                builder
+            }
+            "ann_probes" => {
+                ann_probes = Some(usize_field(value, "config.ann_probes")?);
+                builder
+            }
             "bp_iters" => builder.bp_iters(usize_field(value, "config.bp_iters")?),
             "subspace_anchors" => {
                 builder.subspace_anchors(usize_field(value, "config.subspace_anchors")?)
@@ -104,6 +127,22 @@ pub fn parse_config(patch: Option<&Json>) -> Result<AlignerConfig, AlignError> {
             "epsilon_start" => builder.epsilon_start(f64_field(value, "config.epsilon_start")?),
             other => return Err(proto(format!("unknown config field {other:?}"))),
         };
+    }
+    if ann_bands.is_some() || ann_bits.is_some() || ann_probes.is_some() {
+        if fields.contains_key("density") {
+            return Err(proto(
+                "config.density and config.ann_* are mutually exclusive".to_string(),
+            ));
+        }
+        let defaults = AnnConfig::default();
+        builder = builder.ann(
+            k.unwrap_or(defaults.k),
+            ann_bands.unwrap_or(defaults.bands),
+            ann_bits.unwrap_or(defaults.bits),
+            ann_probes.unwrap_or(defaults.probes),
+        );
+    } else if let Some(k) = k {
+        builder = builder.k(k);
     }
     builder.build()
 }
@@ -237,6 +276,32 @@ mod tests {
         assert_eq!((b.num_vertices(), b.num_edges()), (4, 2));
         let cfg = parse_config(req.get("config")).unwrap();
         assert_eq!(cfg.bp.max_iters, 7);
+    }
+
+    #[test]
+    fn ann_fields_select_the_ann_sparsifier() {
+        use cualign::SparsifyMethod;
+        // k composes with ann_* regardless of JSON field order.
+        let req = body(r#"{"config":{"ann_bits":10,"k":6,"ann_bands":16}}"#);
+        let cfg = parse_config(req.get("config")).unwrap();
+        assert!(matches!(
+            cfg.sparsity,
+            SparsifyMethod::Ann { k: 6, bands: 16, bits: 10, probes: 2 }
+        ));
+        // A single ann field is enough; the rest take defaults.
+        let req = body(r#"{"config":{"ann_probes":3}}"#);
+        let cfg = parse_config(req.get("config")).unwrap();
+        assert!(matches!(cfg.sparsity, SparsifyMethod::Ann { probes: 3, .. }));
+        // density conflicts with the ANN knobs.
+        let req = body(r#"{"config":{"ann_bits":8,"density":0.05}}"#);
+        let err = parse_config(req.get("config")).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // Out-of-range knobs surface the builder's validation.
+        let req = body(r#"{"config":{"ann_bits":40}}"#);
+        assert!(matches!(
+            parse_config(req.get("config")),
+            Err(AlignError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Approximate k-nearest-neighbor sparsification: random-hyperplane LSH
+//! with banded multi-probe, rescored exactly.
+//!
+//! The exact blocked sweep in [`crate::knn`] is `O(n_q · n_t · d)` — the
+//! scalability gate of the whole pipeline. This module replaces the
+//! *candidate generation* with sign-LSH while keeping the *scoring*
+//! bit-identical to the exact path:
+//!
+//! 1. **Hashing.** `bands · bits` shared random hyperplanes (deterministic
+//!    in [`AnnConfig::seed`]) project every row of both embeddings via
+//!    [`vecops::dot_unit`]. Each band packs `bits` projection signs into
+//!    one bucket key; rows of `A` and `B` use the *same* planes, so
+//!    nearby rows collide. Sign-LSH is scale-invariant: two rows collide
+//!    on a bit with probability `1 − θ/π` (θ the angle between them), so
+//!    collision probability is a function of the cosine similarity the
+//!    downstream stages care about.
+//! 2. **Multi-probe.** Per band, each query also probes `probes` extra
+//!    buckets obtained by flipping its lowest-|margin| signature bits —
+//!    the bits most likely to disagree for a true neighbor — which buys
+//!    recall without more bands (and without more memory).
+//! 3. **Exact rescoring.** The union of bucket collisions is scored with
+//!    the *same* arithmetic as the exact kernel: [`vecops::dot`] (the
+//!    in-order chain the tiled `dot_block` is pinned to by
+//!    `prop_gemm.rs`), the same precomputed [`vecops::norm`] row norms,
+//!    the same `(dot/(nq·nt)).clamp(-1, 1)` cosine and
+//!    `((1+cos)/2).max(MIN_POSITIVE)` weight, folded through the same
+//!    crate-internal `TopK` heap order. A pair that both paths score gets
+//!    a **bit-identical weight**; `tests/prop_ann.rs` pins this.
+//!
+//! What is approximate, then, is only *which* pairs get scored: ANN may
+//! miss a true neighbor whose signatures never collide. The exact kernel
+//! [`crate::knn_candidates`] stays in-tree as the pinned **recall
+//! oracle** (see `docs/oracle_manifest.txt` and `docs/APPROXIMATION.md`)
+//! — below a size cutoff, benches and property tests measure
+//! [`ann_recall`] against it and enforce a floor. Structural candidates
+//! from Weisfeiler–Lehman label buckets (`cualign_graph::wl`) are
+//! unioned in by [`build_alignment_graph_ann`] so pairs the embedding
+//! geometry misses can still enter `L`.
+
+use std::sync::{Arc, OnceLock};
+
+use cualign_graph::{BipartiteGraph, VertexId};
+use cualign_linalg::{vecops, DenseMatrix};
+use cualign_telemetry::Counter;
+use rayon::prelude::*;
+
+use crate::knn::{knn_tele, row_norms, KnnDirection, TopK};
+
+/// Hard cap on entries consumed per bucket lookup. A pathological bucket
+/// (e.g. thousands of near-identical rows) would otherwise turn one
+/// query into a near-exact sweep; entries are sorted by id, so the cap
+/// keeps the scan deterministic.
+const MAX_BUCKET_SCAN: usize = 2048;
+
+/// Knobs of the ANN sparsifier. `bands` × `bits` hyperplanes are drawn
+/// deterministically from `seed`; each of the `bands` signature keys is
+/// `bits` projection signs, and every query additionally probes
+/// `probes` neighboring buckets per band (lowest-margin bit flips).
+///
+/// Larger `bits` makes buckets smaller (fewer, closer candidates);
+/// larger `bands`/`probes` raises recall at more scoring cost. See
+/// `docs/EXPERIMENTS.md` ("choosing ANN knobs") for the measured
+/// trade-off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnConfig {
+    /// Neighbors kept per query row (same role as exact kNN's `k`).
+    pub k: usize,
+    /// Number of independent hash tables (signature bands).
+    pub bands: usize,
+    /// Signature bits per band, in `1..=32`.
+    pub bits: usize,
+    /// Extra low-margin bit-flip probes per band, at most `bits`.
+    pub probes: usize,
+    /// Seed for the shared hyperplane draw.
+    pub seed: u64,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        AnnConfig {
+            k: 10,
+            bands: 8,
+            bits: 12,
+            probes: 2,
+            seed: 0xa11c_5eed,
+        }
+    }
+}
+
+impl AnnConfig {
+    fn validate(&self) {
+        assert!(self.k > 0, "ann: k must be positive");
+        assert!(self.bands > 0, "ann: bands must be positive");
+        assert!(
+            (1..=32).contains(&self.bits),
+            "ann: bits must be in 1..=32"
+        );
+        assert!(self.probes <= self.bits, "ann: probes must be <= bits");
+    }
+}
+
+/// Interned ANN counters: occupied `(band, signature)` buckets on the
+/// indexed side, candidate pairs actually scored (post-dedup bucket
+/// collisions — the ANN analogue of `sparsify.candidates_scanned`),
+/// multi-probe lookups that hit a non-empty bucket, and how many times
+/// a recall check against the exact oracle ran.
+struct AnnTele {
+    buckets: Arc<Counter>,
+    collisions: Arc<Counter>,
+    probed: Arc<Counter>,
+    recall_checked: Arc<Counter>,
+}
+
+fn ann_tele() -> &'static AnnTele {
+    static TELE: OnceLock<AnnTele> = OnceLock::new();
+    TELE.get_or_init(|| {
+        let r = cualign_telemetry::global();
+        AnnTele {
+            buckets: r.counter("sparsify.ann.buckets"),
+            collisions: r.counter("sparsify.ann.collisions"),
+            probed: r.counter("sparsify.ann.probed"),
+            recall_checked: r.counter("sparsify.ann.recall_checked"),
+        }
+    })
+}
+
+/// SplitMix64 step — the hyperplane RNG. Self-contained on purpose: the
+/// signatures must not depend on the `rand` crate's stream so the ANN
+/// path is identical under the offline stub harness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    // 53 mantissa bits → uniform in [0, 1).
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Approximately standard-normal deviate (Irwin–Hall sum of 12
+/// uniforms). Pure arithmetic — bit-reproducible everywhere — and
+/// symmetric, which is all sign-LSH needs from its projection
+/// directions.
+fn gaussianish(state: &mut u64) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..12 {
+        acc += unit_f64(state);
+    }
+    acc - 6.0
+}
+
+/// `bands · bits` hyperplanes of dimension `d`, drawn from `seed`.
+fn hyperplanes(d: usize, cfg: &AnnConfig) -> DenseMatrix {
+    let rows = cfg.bands * cfg.bits;
+    let mut state = cfg.seed ^ 0x5ca1_ab1e_0ddb_a11u64;
+    let data: Vec<f64> = (0..rows * d).map(|_| gaussianish(&mut state)).collect();
+    DenseMatrix::from_vec(rows, d, data)
+}
+
+/// Per-row banded signatures plus multi-probe keys.
+struct Signatures {
+    bands: usize,
+    probes: usize,
+    /// `keys[row * bands + b]` — the exact bucket key of `row` in band `b`.
+    keys: Vec<u64>,
+    /// `probe_keys[(row * bands + b) * probes + p]` — the `p`-th
+    /// lowest-margin bit flip of that key.
+    probe_keys: Vec<u64>,
+}
+
+fn signatures(m: &DenseMatrix, planes: &DenseMatrix, cfg: &AnnConfig) -> Signatures {
+    let (n, bands, bits, probes) = (m.rows(), cfg.bands, cfg.bits, cfg.probes);
+    let per_row: Vec<(Vec<u64>, Vec<u64>)> = (0..n)
+        .into_par_iter()
+        .map(|row| {
+            let r = m.row(row);
+            let mut keys = Vec::with_capacity(bands);
+            let mut probe_keys = Vec::with_capacity(bands * probes);
+            let mut margins: Vec<(f64, usize)> = Vec::with_capacity(bits);
+            for b in 0..bands {
+                let mut key = 0u64;
+                margins.clear();
+                for bit in 0..bits {
+                    let proj = vecops::dot_unit(r, planes.row(b * bits + bit));
+                    if proj >= 0.0 {
+                        key |= 1u64 << bit;
+                    }
+                    margins.push((proj.abs(), bit));
+                }
+                // The least-confident signs flip first under noise, so
+                // they make the best probe targets.
+                margins.sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+                keys.push(key);
+                for &(_, bit) in margins.iter().take(probes) {
+                    probe_keys.push(key ^ (1u64 << bit));
+                }
+            }
+            (keys, probe_keys)
+        })
+        .collect();
+    let mut keys = Vec::with_capacity(n * bands);
+    let mut probe_keys = Vec::with_capacity(n * bands * probes);
+    for (k, p) in per_row {
+        keys.extend(k);
+        probe_keys.extend(p);
+    }
+    Signatures {
+        bands,
+        probes,
+        keys,
+        probe_keys,
+    }
+}
+
+/// One band of the indexed (target) side: `(key, row)` entries sorted by
+/// `(key, row)`, so a bucket is a contiguous run found by binary search.
+struct BandIndex {
+    entries: Vec<(u64, VertexId)>,
+}
+
+impl BandIndex {
+    fn bucket(&self, key: u64) -> &[(u64, VertexId)] {
+        let lo = self.entries.partition_point(|e| e.0 < key);
+        let hi = self.entries.partition_point(|e| e.0 <= key);
+        &self.entries[lo..hi]
+    }
+}
+
+/// Builds the per-band sorted bucket indexes for the target side and
+/// counts occupied buckets.
+fn index_bands(sigs: &Signatures, n: usize) -> (Vec<BandIndex>, u64) {
+    let bands = sigs.bands;
+    let mut occupied = 0u64;
+    let indexes: Vec<BandIndex> = (0..bands)
+        .map(|b| {
+            let mut entries: Vec<(u64, VertexId)> = (0..n)
+                .map(|row| (sigs.keys[row * bands + b], row as VertexId))
+                .collect();
+            entries.sort_unstable();
+            occupied += 1 + entries.windows(2).filter(|w| w[0].0 != w[1].0).count() as u64;
+            BandIndex { entries }
+        })
+        .collect();
+    (indexes, if n == 0 { 0 } else { occupied })
+}
+
+/// Per-query sweep over bucket collisions: returns each query's kept
+/// `(similarity, target)` list (best-first) plus `(scored, probe_hits)`
+/// totals for telemetry.
+fn sweep_buckets(
+    queries: &DenseMatrix,
+    targets: &DenseMatrix,
+    qsigs: &Signatures,
+    index: &[BandIndex],
+    cfg: &AnnConfig,
+) -> (Vec<Vec<(f64, VertexId)>>, u64, u64) {
+    let (nq, nt) = (queries.rows(), targets.rows());
+    let keep = cfg.k.min(nt);
+    let qnorms = row_norms(queries);
+    let tnorms = row_norms(targets);
+    let (bands, probes) = (qsigs.bands, qsigs.probes);
+    let per_query: Vec<(Vec<(f64, VertexId)>, u64, u64)> = (0..nq)
+        .into_par_iter()
+        .map(|q| {
+            let mut cands: Vec<VertexId> = Vec::new();
+            let mut probe_hits = 0u64;
+            for b in 0..bands {
+                let main = index[b].bucket(qsigs.keys[q * bands + b]);
+                cands.extend(main.iter().take(MAX_BUCKET_SCAN).map(|e| e.1));
+                for p in 0..probes {
+                    let key = qsigs.probe_keys[(q * bands + b) * probes + p];
+                    let hit = index[b].bucket(key);
+                    if !hit.is_empty() {
+                        probe_hits += 1;
+                        cands.extend(hit.iter().take(MAX_BUCKET_SCAN).map(|e| e.1));
+                    }
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            let scored = cands.len() as u64;
+            let qrow = queries.row(q);
+            let qn = qnorms[q];
+            let mut top = TopK::new(keep);
+            for &t in &cands {
+                let tn = tnorms[t as usize];
+                let dp = vecops::dot(qrow, targets.row(t as usize));
+                let sim = if qn == 0.0 || tn == 0.0 {
+                    0.0
+                } else {
+                    (dp / (qn * tn)).clamp(-1.0, 1.0)
+                };
+                top.push(sim, t);
+            }
+            (top.into_sorted(), scored, probe_hits)
+        })
+        .collect();
+    let mut states = Vec::with_capacity(nq);
+    let (mut scored, mut probe_hits) = (0u64, 0u64);
+    for (s, c, p) in per_query {
+        states.push(s);
+        scored += c;
+        probe_hits += p;
+    }
+    (states, scored, probe_hits)
+}
+
+fn orient(
+    states: Vec<Vec<(f64, VertexId)>>,
+    direction: KnnDirection,
+) -> Vec<(VertexId, VertexId, f64)> {
+    let mut triples = Vec::new();
+    for (q, state) in states.into_iter().enumerate() {
+        for (sim, t) in state {
+            let w = ((1.0 + sim) / 2.0).max(f64::MIN_POSITIVE);
+            triples.push(match direction {
+                KnnDirection::AtoB => (q as VertexId, t, w),
+                KnnDirection::BtoA => (t, q as VertexId, w),
+            });
+        }
+    }
+    triples
+}
+
+/// Approximate analogue of [`crate::knn_candidates`]: `(a, b, weight)`
+/// triples for up to `cfg.k` near neighbors of every query-side row,
+/// found via banded multi-probe LSH and scored exactly.
+///
+/// Deterministic in `(ya, yb, cfg, direction)`. Per query, triples come
+/// out best-first under the exact kernel's ranking; every emitted weight
+/// is bit-identical to what [`crate::knn_candidates`] would assign that
+/// pair. Queries whose signatures collide with nothing emit no triples
+/// (unlike the exact path, which always fills `k`) — recall against the
+/// exact oracle is the approximation contract, measured by
+/// [`ann_recall`] and enforced in `tests/prop_ann.rs` and `bench_ann`.
+///
+/// # Panics
+/// Panics if the embeddings disagree in dimension or `cfg` is invalid
+/// (`k == 0`, `bands == 0`, `bits ∉ 1..=32`, or `probes > bits`).
+pub fn ann_candidates(
+    ya: &DenseMatrix,
+    yb: &DenseMatrix,
+    cfg: &AnnConfig,
+    direction: KnnDirection,
+) -> Vec<(VertexId, VertexId, f64)> {
+    cfg.validate();
+    assert_eq!(ya.cols(), yb.cols(), "embedding dimension mismatch");
+    let (queries, targets) = match direction {
+        KnnDirection::AtoB => (ya, yb),
+        KnnDirection::BtoA => (yb, ya),
+    };
+    let planes = hyperplanes(queries.cols(), cfg);
+    let qsigs = signatures(queries, &planes, cfg);
+    let tsigs = signatures(targets, &planes, cfg);
+    let (index, occupied) = index_bands(&tsigs, targets.rows());
+    let (states, scored, probe_hits) = sweep_buckets(queries, targets, &qsigs, &index, cfg);
+    let triples = orient(states, direction);
+    let tele = ann_tele();
+    tele.buckets.add(occupied);
+    tele.collisions.add(scored);
+    tele.probed.add(probe_hits);
+    knn_tele().kept.add(triples.len() as u64);
+    triples
+}
+
+/// Builds the sparsified alignment graph `L` approximately: the union of
+/// both directions' ANN top-`k` ([`ann_candidates`] semantics, hashing
+/// each embedding once) plus `wl_pairs` — structural candidates from
+/// Weisfeiler–Lehman label agreement (`cualign_graph::wl::wl_candidates`)
+/// — each scored with the same exact cosine weight.
+///
+/// The WL union is what makes the approximation robust on structurally
+/// regular regions: a true pair whose embeddings hash apart still enters
+/// `L` if its WL labels agree. Out-of-range `wl_pairs` panic via the
+/// bipartite constructor's bounds check.
+pub fn build_alignment_graph_ann(
+    ya: &DenseMatrix,
+    yb: &DenseMatrix,
+    cfg: &AnnConfig,
+    wl_pairs: &[(VertexId, VertexId)],
+) -> BipartiteGraph {
+    cfg.validate();
+    assert_eq!(ya.cols(), yb.cols(), "embedding dimension mismatch");
+    let planes = hyperplanes(ya.cols(), cfg);
+    let sa = signatures(ya, &planes, cfg);
+    let sb = signatures(yb, &planes, cfg);
+    let (ib, occ_b) = index_bands(&sb, yb.rows());
+    let (ia, occ_a) = index_bands(&sa, ya.rows());
+    let (ab, scored_ab, probes_ab) = sweep_buckets(ya, yb, &sa, &ib, cfg);
+    let (ba, scored_ba, probes_ba) = sweep_buckets(yb, ya, &sb, &ia, cfg);
+    let mut triples = orient(ab, KnnDirection::AtoB);
+    triples.extend(orient(ba, KnnDirection::BtoA));
+
+    // Score the structural candidates with the identical exact formula.
+    let na = row_norms(ya);
+    let nb = row_norms(yb);
+    triples.extend(wl_pairs.par_iter().map(|&(a, b)| {
+        let (qn, tn) = (na[a as usize], nb[b as usize]);
+        let dp = vecops::dot(ya.row(a as usize), yb.row(b as usize));
+        let sim = if qn == 0.0 || tn == 0.0 {
+            0.0
+        } else {
+            (dp / (qn * tn)).clamp(-1.0, 1.0)
+        };
+        (a, b, ((1.0 + sim) / 2.0).max(f64::MIN_POSITIVE))
+    }).collect::<Vec<_>>());
+
+    let tele = ann_tele();
+    tele.buckets.add(occ_a + occ_b);
+    tele.collisions.add(scored_ab + scored_ba);
+    tele.probed.add(probes_ab + probes_ba);
+    knn_tele().kept.add(triples.len() as u64);
+    // Duplicate (a, b) pairs carry identical weights; the constructor
+    // collapses them.
+    BipartiteGraph::from_weighted_edges(ya.rows(), yb.rows(), &triples)
+}
+
+/// Pair-set recall of an ANN candidate list against the exact oracle's:
+/// `|ann ∩ exact| / |exact|` over `(a, b)` pairs (weights ignored — they
+/// are bit-identical by construction for shared pairs). Returns 1.0 for
+/// an empty oracle. Each call bumps `sparsify.ann.recall_checked`.
+pub fn ann_recall(
+    ann: &[(VertexId, VertexId, f64)],
+    exact: &[(VertexId, VertexId, f64)],
+) -> f64 {
+    ann_tele().recall_checked.add(1);
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let got: std::collections::HashSet<(VertexId, VertexId)> =
+        ann.iter().map(|&(a, b, _)| (a, b)).collect();
+    let hit = exact.iter().filter(|&&(a, b, _)| got.contains(&(a, b))).count();
+    hit as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-gaussian embeddings (no `rand` dependency, so
+    /// behavior is identical under the offline stub harness).
+    fn gaussian_rows(n: usize, d: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed;
+        DenseMatrix::from_vec(n, d, (0..n * d).map(|_| gaussianish(&mut state)).collect())
+    }
+
+    #[test]
+    fn identical_rows_always_collide_and_match_exact() {
+        // Every row identical → one bucket per band on each side → the
+        // candidate set is complete and ANN equals exact kNN bitwise.
+        let row: Vec<f64> = (0..8).map(|i| (i as f64) - 3.0).collect();
+        let data: Vec<f64> = (0..20).flat_map(|_| row.clone()).collect();
+        let ya = DenseMatrix::from_vec(20, 8, data.clone());
+        let yb = DenseMatrix::from_vec(20, 8, data);
+        let cfg = AnnConfig::default();
+        let ann = ann_candidates(&ya, &yb, &cfg, KnnDirection::AtoB);
+        let exact = crate::knn_candidates(&ya, &yb, cfg.k, KnnDirection::AtoB);
+        assert_eq!(ann, exact);
+    }
+
+    #[test]
+    fn self_pairs_survive_on_identical_embeddings() {
+        // ya == yb → identical signatures, so every row collides with its
+        // own copy in every band; the self pair must rank first (cos 1).
+        let m = gaussian_rows(50, 16, 7);
+        let cfg = AnnConfig { k: 3, ..AnnConfig::default() };
+        let ann = ann_candidates(&m, &m, &cfg, KnnDirection::AtoB);
+        for q in 0..50u32 {
+            let first = ann.iter().find(|t| t.0 == q).expect("row emitted");
+            assert_eq!(first.1, q, "self pair must rank first for row {q}");
+            assert!((first.2 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wl_pairs_enter_the_graph_with_exact_weights() {
+        let ya = gaussian_rows(30, 8, 1);
+        let yb = gaussian_rows(30, 8, 2);
+        let cfg = AnnConfig { k: 2, ..AnnConfig::default() };
+        let l = build_alignment_graph_ann(&ya, &yb, &cfg, &[(0, 5)]);
+        let e = l.edge_id(0, 5).expect("WL candidate must survive the union");
+        let expected = ((1.0
+            + (vecops::dot(ya.row(0), yb.row(5))
+                / (vecops::norm(ya.row(0)) * vecops::norm(yb.row(5))))
+            .clamp(-1.0, 1.0))
+            / 2.0)
+            .max(f64::MIN_POSITIVE);
+        assert_eq!(l.weights()[e as usize].to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let ya = gaussian_rows(40, 12, 3);
+        let yb = gaussian_rows(40, 12, 4);
+        let cfg = AnnConfig::default();
+        let a = ann_candidates(&ya, &yb, &cfg, KnnDirection::AtoB);
+        let b = ann_candidates(&ya, &yb, &cfg, KnnDirection::AtoB);
+        assert_eq!(a, b);
+        let other = AnnConfig { seed: 99, ..cfg };
+        // A different plane draw may select different candidates; it must
+        // still be internally deterministic.
+        let c = ann_candidates(&ya, &yb, &other, KnnDirection::AtoB);
+        assert_eq!(c, ann_candidates(&ya, &yb, &other, KnnDirection::AtoB));
+    }
+
+    #[test]
+    #[should_panic(expected = "probes must be <= bits")]
+    fn rejects_probes_beyond_bits() {
+        let m = gaussian_rows(4, 4, 1);
+        let cfg = AnnConfig { bits: 4, probes: 5, ..AnnConfig::default() };
+        let _ = ann_candidates(&m, &m, &cfg, KnnDirection::AtoB);
+    }
+}

@@ -69,20 +69,20 @@ pub enum KnnDirection {
 /// The seed ranking order: descending similarity, ascending target id on
 /// ties — a total order, so the top-`k` set is unique.
 #[inline]
-fn rank(x: &(f64, VertexId), y: &(f64, VertexId)) -> Ordering {
+pub(crate) fn rank(x: &(f64, VertexId), y: &(f64, VertexId)) -> Ordering {
     y.0.total_cmp(&x.0).then(x.1.cmp(&y.1))
 }
 
 /// Bounded top-`k` selector: a binary max-heap under [`rank`] whose root
 /// is the *worst* kept candidate, replaced whenever a strictly better
 /// one arrives.
-struct TopK {
+pub(crate) struct TopK {
     keep: usize,
     heap: Vec<(f64, VertexId)>,
 }
 
 impl TopK {
-    fn new(keep: usize) -> Self {
+    pub(crate) fn new(keep: usize) -> Self {
         TopK {
             keep,
             heap: Vec::with_capacity(keep),
@@ -90,7 +90,7 @@ impl TopK {
     }
 
     #[inline]
-    fn push(&mut self, sim: f64, t: VertexId) {
+    pub(crate) fn push(&mut self, sim: f64, t: VertexId) {
         if self.keep == 0 {
             return;
         }
@@ -139,13 +139,13 @@ impl TopK {
     }
 
     /// Kept candidates, best-first (deterministic under [`rank`]).
-    fn into_sorted(mut self) -> Vec<(f64, VertexId)> {
+    pub(crate) fn into_sorted(mut self) -> Vec<(f64, VertexId)> {
         self.heap.sort_unstable_by(rank);
         self.heap
     }
 }
 
-fn row_norms(m: &DenseMatrix) -> Vec<f64> {
+pub(crate) fn row_norms(m: &DenseMatrix) -> Vec<f64> {
     (0..m.rows())
         .into_par_iter()
         .map(|i| vecops::norm(m.row(i)))

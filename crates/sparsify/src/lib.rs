@@ -25,13 +25,28 @@
 //! candidate graphs at refinement levels (projection bands in
 //! `cualign::multilevel`), using this crate's kNN only at the coarsest
 //! level.
+//!
+//! Two candidate-generation regimes live here (the repo's exactness
+//! contract for both is `docs/APPROXIMATION.md`):
+//!
+//! * **Exact** — [`knn_candidates`], the tiled brute-force sweep,
+//!   bit-identical to the seed [`knn_candidates_reference`]
+//!   (`tests/prop_knn.rs`). `O(n² d)`: the scalability gate.
+//! * **Approximate** — [`ann::ann_candidates`], banded multi-probe LSH
+//!   ([`ann::AnnConfig`]) whose bucket collisions are rescored with the
+//!   exact kernel's arithmetic, so shared pairs carry bit-identical
+//!   weights; only *recall* is approximate, measured against the exact
+//!   kernel as pinned oracle (`tests/prop_ann.rs`). Near-linear, which
+//!   is what lets the multilevel pipeline crack million-vertex pairs.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ann;
 pub mod knn;
 pub mod variants;
 
+pub use ann::{ann_candidates, ann_recall, build_alignment_graph_ann, AnnConfig};
 pub use knn::{knn_candidates, knn_candidates_reference, KnnDirection};
 pub use variants::{build_with, Sparsifier};
 

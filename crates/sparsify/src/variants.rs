@@ -10,7 +10,14 @@
 //! * [`Sparsifier::Threshold`] — similarity cutoff with a per-vertex cap;
 //!   adapts the candidate count to the similarity landscape instead of
 //!   fixing `k`.
+//! * [`Sparsifier::Ann`] — approximate: banded multi-probe LSH
+//!   candidates rescored exactly ([`crate::ann`]). The only variant that
+//!   is not exhaustive; its recall contract lives in
+//!   `docs/APPROXIMATION.md`. WL structural candidates are unioned in by
+//!   the core crate, which owns the graphs (this dispatch only sees
+//!   embeddings).
 
+use crate::ann::AnnConfig;
 use crate::knn::{knn_candidates, sweep_similarity, KnnDirection};
 use cualign_graph::{BipartiteGraph, VertexId};
 use cualign_linalg::DenseMatrix;
@@ -37,6 +44,12 @@ pub enum Sparsifier {
         /// `O(n²)` blowup when the threshold is permissive).
         cap_per_vertex: usize,
     },
+    /// Union of both sides' approximate k-nearest neighbors via banded
+    /// multi-probe LSH, rescored exactly ([`crate::ann_candidates`]).
+    Ann(
+        /// LSH knobs: `k`, `bands`, `bits`, `probes`, `seed`.
+        AnnConfig,
+    ),
 }
 
 /// Builds `L` under the chosen sparsifier.
@@ -95,6 +108,7 @@ pub fn build_with(ya: &DenseMatrix, yb: &DenseMatrix, rule: &Sparsifier) -> Bipa
             tele.kept.add(triples.len() as u64);
             BipartiteGraph::from_weighted_edges(ya.rows(), yb.rows(), &triples)
         }
+        Sparsifier::Ann(cfg) => crate::ann::build_alignment_graph_ann(ya, yb, &cfg, &[]),
     }
 }
 

@@ -235,6 +235,48 @@ fn degenerate_inputs_and_configs_error() {
     assert!(s3.align().is_ok(), "session must survive a rejected config");
 }
 
+/// ANN knobs are sparsify-stage fingerprint ingredients: flipping only
+/// `probes` rebuilds the sparsify suffix (L → S → BP) while embeddings
+/// and subspace stay cached — exactly like sweeping `k` on the exact
+/// path.
+#[test]
+fn changing_ann_probes_invalidates_sparsify_suffix_only() {
+    let inst = instance(10, 120, 360);
+    let mut cfg = test_cfg();
+    cfg.sparsity = SparsityChoice::Ann {
+        k: 6,
+        bands: 8,
+        bits: 10,
+        probes: 2,
+    };
+    let mut s = AlignmentSession::new(&inst.a, &inst.b, cfg).unwrap();
+    s.align().unwrap();
+
+    s.update_config(|c| {
+        if let SparsityChoice::Ann { probes, .. } = &mut c.sparsity {
+            *probes = 3;
+        }
+    })
+    .unwrap();
+    let r = s.align().unwrap();
+    // Embedding + subspace served from cache; sparsify onward rebuilt.
+    assert_eq!(r.timings.cache_hits, 2);
+    assert_eq!(r.timings.embedding_s, 0.0);
+    assert_eq!(r.timings.subspace_s, 0.0);
+    let c = s.counters();
+    assert_eq!(c.embedding_builds, 1);
+    assert_eq!(c.subspace_builds, 1);
+    assert_eq!(c.sparsify_builds, 2);
+    assert_eq!(c.overlap_builds, 2);
+    assert_eq!(c.optimize_builds, 2);
+
+    // A no-op reconfiguration must not invalidate anything.
+    s.update_config(|_| {}).unwrap();
+    let r2 = s.align().unwrap();
+    assert_eq!(r2.timings.cache_hits, 5);
+    assert_eq!(s.counters().sparsify_builds, 2);
+}
+
 /// `set_config` swaps whole configurations and still only rebuilds what
 /// changed relative to the *cached artifacts*, not the previous config.
 #[test]
