@@ -52,6 +52,8 @@ else
       --test multilevel_pipeline &&
     cargo check -p cualign-telemetry --tests &&
     cargo check -p cualign-linalg --tests &&
+    cargo check -p cualign-bp --tests &&
+    cargo check -p cualign-overlap --tests &&
     cargo check -p cualign-sparsify --tests &&
     cargo check -p cualign-embed --tests &&
     cargo check -p cualign-serve --tests &&

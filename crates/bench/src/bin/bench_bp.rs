@@ -1,0 +1,178 @@
+//! BP sweep + overlap build benchmark: the merge-balanced sparse-kernel
+//! paths ([`cualign_bp::BpEngine::iterate`],
+//! [`cualign_overlap::OverlapMatrix::build`]) against their pinned serial
+//! references (`iterate_reference`, `build_reference`) on planted
+//! instances, verifying bitwise-identical message state and identical
+//! CSR structure in-binary. The default sink is `BENCH_bp.json` — one
+//! JSONL record per grid cell:
+//!
+//! ```text
+//! cargo run --release -p cualign-bench --bin bench_bp
+//! ```
+//!
+//! Knobs: `CUALIGN_BENCH_BP_NS` (comma-separated vertex grid, default
+//! `2000,50000,500000` — overlap nnz ≈ 80k / 1M / 10M at the default
+//! degree), `CUALIGN_BENCH_BP_SWEEPS` (timed sweeps per cell, default
+//! `3`; two untimed warmup sweeps precede them), `CUALIGN_BENCH_BP_OUT`
+//! (default `BENCH_bp.json`). The reference always runs — every
+//! record's `bit_identical` is asserted, never sampled.
+
+use std::io::Write;
+use std::time::Instant;
+
+use cualign_bench::json::JsonRecord;
+use cualign_bp::{BpConfig, BpEngine};
+use cualign_graph::{BipartiteGraph, CsrGraph, Permutation, VertexId};
+use cualign_overlap::OverlapMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 42;
+/// Edges per vertex of the planted graphs (average degree 20): each true
+/// candidate pair then contributes ~20 squares, so overlap nnz ≈ 20·n.
+const EDGE_FACTOR: usize = 10;
+/// Decoy candidates per vertex: L has (1 + DECOYS)·n edges.
+const DECOYS: usize = 9;
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) if !v.is_empty() => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("grid entries are integers"))
+            .collect(),
+        _ => default.to_vec(),
+    }
+}
+
+fn planted(n: usize, seed: u64) -> (CsrGraph, CsrGraph, BipartiteGraph) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = cualign_graph::generators::erdos_renyi_gnm(n, n * EDGE_FACTOR, &mut rng);
+    let p = Permutation::random(n, &mut rng);
+    let b = p.apply_to_graph(&a);
+    let mut triples: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(n * (1 + DECOYS));
+    for i in 0..n as VertexId {
+        triples.push((i, p.apply(i), 0.5));
+        for _ in 0..DECOYS {
+            triples.push((i, rng.gen_range(0..n as VertexId), 0.5));
+        }
+    }
+    let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+    (a, b, l)
+}
+
+/// FNV-1a over the raw bits of every message array: two engines whose
+/// hashes agree (and whose array lengths agree) carry bitwise-identical
+/// state without holding a second copy of it.
+fn state_hash(e: &BpEngine) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: &[f64]| {
+        for x in v {
+            h ^= x.to_bits();
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(e.yc());
+    eat(e.zc());
+    eat(e.dc());
+    eat(e.f());
+    eat(e.sp());
+    h
+}
+
+fn main() {
+    let ns = env_list("CUALIGN_BENCH_BP_NS", &[2000, 50_000, 500_000]);
+    let sweeps = cualign_bench::env_u64("CUALIGN_BENCH_BP_SWEEPS", 3) as usize;
+    let out_path = std::env::var("CUALIGN_BENCH_BP_OUT").unwrap_or("BENCH_bp.json".into());
+    let cfg = BpConfig::default();
+
+    println!("bench_bp: n grid {ns:?}, {sweeps} timed sweeps per cell (records -> {out_path})");
+    let mut lines = Vec::new();
+    for &n in &ns {
+        let (a, b, l) = planted(n, SEED ^ (n as u64));
+
+        // Overlap build: merge-balanced two-phase vs. serial reference,
+        // exact structural equality. One untimed warmup build first, so
+        // both timed builds draw from a warm (already-faulted) allocator
+        // arena instead of the second-in-line inheriting the first's
+        // freed pages.
+        drop(OverlapMatrix::build(&a, &b, &l));
+        let t = Instant::now();
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let build_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let s_ref = OverlapMatrix::build_reference(&a, &b, &l);
+        let build_reference_s = t.elapsed().as_secs_f64();
+        assert_eq!(s.row_offsets(), s_ref.row_offsets(), "build offsets diverged at n = {n}");
+        assert_eq!(s.col_indices(), s_ref.col_indices(), "build columns diverged at n = {n}");
+        assert_eq!(
+            s.transpose_perm(),
+            s_ref.transpose_perm(),
+            "build transpose diverged at n = {n}"
+        );
+        drop(s_ref);
+        let nnz = s.nnz();
+
+        // BP sweeps: run the fast engine, hash its state, drop it, then
+        // the reference engine — peak memory stays one engine + S. Each
+        // engine runs two untimed warmup sweeps first: the message
+        // arrays are double-buffered (`f`/`f_next`, `sc`/`sp`), so one
+        // sweep touches only half of each pair and the second faults in
+        // the rest. The timed sweeps then measure steady state for both
+        // paths; the hashes still compare the same 2 + `sweeps`
+        // iterations.
+        let (fast_hash, sweep_s) = {
+            let mut eng = BpEngine::new(&l, &s, &cfg);
+            eng.iterate();
+            eng.iterate();
+            let t = Instant::now();
+            for _ in 0..sweeps {
+                eng.iterate();
+            }
+            (state_hash(&eng), t.elapsed().as_secs_f64())
+        };
+        let (ref_hash, sweep_reference_s) = {
+            let mut eng = BpEngine::new(&l, &s, &cfg);
+            eng.iterate_reference();
+            eng.iterate_reference();
+            let t = Instant::now();
+            for _ in 0..sweeps {
+                eng.iterate_reference();
+            }
+            (state_hash(&eng), t.elapsed().as_secs_f64())
+        };
+        assert_eq!(
+            fast_hash, ref_hash,
+            "sparse-kernel sweep diverged bitwise from the reference at n = {n}"
+        );
+
+        let speedup = sweep_reference_s / sweep_s;
+        let build_speedup = build_reference_s / build_s;
+        println!(
+            "  n {n:>7}, nnz {nnz:>9}: sweeps {sweep_s:>8.3}s vs reference \
+             {sweep_reference_s:>8.3}s ({speedup:>5.2}x); build {build_s:>8.3}s vs \
+             {build_reference_s:>8.3}s ({build_speedup:>5.2}x); bit-identical"
+        );
+        lines.push(
+            JsonRecord::new()
+                .str("bench", "bp")
+                .int("n", n)
+                .int("l_edges", l.num_edges())
+                .int("nnz", nnz)
+                .int("sweeps", sweeps)
+                .num("sweep_s", sweep_s)
+                .num("sweep_reference_s", sweep_reference_s)
+                .num("speedup", speedup)
+                .num("build_s", build_s)
+                .num("build_reference_s", build_reference_s)
+                .num("build_speedup", build_speedup)
+                .str("bit_identical", "yes")
+                .finish(),
+        );
+    }
+
+    let mut f = std::fs::File::create(&out_path).expect("record sink is writable");
+    for line in &lines {
+        writeln!(f, "{line}").expect("record sink is writable");
+    }
+    println!("wrote {} records to {out_path}", lines.len());
+}

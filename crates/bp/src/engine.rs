@@ -2,8 +2,9 @@
 //! Algorithm 2, and per-iteration rounding via approximate matching.
 
 use crate::evaluate_matching;
-use crate::othermax::{othermax_cols, othermax_rows};
-use cualign_graph::BipartiteGraph;
+use crate::othermax::{othermax_cols_reference, othermax_rows_reference, OthermaxWorkspace};
+use cualign_graph::{BipartiteGraph, Side};
+use cualign_linalg::sparse::{self, MergePlan};
 use cualign_matching::{
     greedy_matching, locally_dominant_parallel, locally_dominant_serial, suitor_matching, Matching,
 };
@@ -20,6 +21,7 @@ struct BpTele {
     messages_updated: Arc<Counter>,
     clamp_saturations: Arc<Counter>,
     residual: Arc<Histogram>,
+    sweep_seconds: Arc<Histogram>,
 }
 
 fn bp_tele() -> &'static BpTele {
@@ -32,6 +34,7 @@ fn bp_tele() -> &'static BpTele {
             messages_updated: r.counter("bp.messages_updated"),
             clamp_saturations: r.counter("bp.clamp_saturations"),
             residual: r.histogram("bp.residual"),
+            sweep_seconds: r.histogram("bp.sweep_seconds"),
         }
     })
 }
@@ -164,6 +167,12 @@ pub struct BpEngine<'a> {
     // writes into these and swaps, so no iteration allocates.
     f_next: Vec<f64>,
     dc_next: Vec<f64>,
+    /// Merge-path plan over the overlap CSR — shared by every sparse
+    /// kernel call of the sweep.
+    plan: MergePlan,
+    /// Reusable othermax buffers (positional scratch, inverse position
+    /// maps, side plans) so the exclusivity sweeps allocate nothing.
+    om_ws: OthermaxWorkspace,
 }
 
 impl<'a> BpEngine<'a> {
@@ -184,6 +193,12 @@ impl<'a> BpEngine<'a> {
         assert!(
             l.weights().iter().all(|w| w.is_finite()),
             "similarity weights must be finite: NaN/∞ would poison every message"
+        );
+        // The fused A-side tail of `iterate` treats the positional
+        // exclusion outputs as edge-indexed arrays.
+        debug_assert!(
+            l.eids(Side::A).iter().enumerate().all(|(p, &e)| p == e as usize),
+            "side-A incidence positions must be edge ids"
         );
         let m = l.num_edges();
         let nnz = s.nnz();
@@ -210,6 +225,8 @@ impl<'a> BpEngine<'a> {
             sp: vec![0.0; nnz],
             f_next: vec![0.0; nnz],
             dc_next: vec![0.0; m],
+            plan: MergePlan::new(s.row_offsets()),
+            om_ws: OthermaxWorkspace::new(l),
         }
     }
 
@@ -249,7 +266,199 @@ impl<'a> BpEngine<'a> {
     }
 
     /// One full message update (Algorithm 2, lines 9–16). Does not round.
+    ///
+    /// Executes on the `linalg::sparse` kernel layer over the overlap
+    /// CSR: the fused `F`+`dᶜ` recomputation is one
+    /// [`sparse::row_map_reduce`] (the unfused pair maps to
+    /// [`sparse::map_values`] + [`sparse::reduce_rows`]), the A-side
+    /// othermax sweep is an [`sparse::exclusion_max_apply`] writing the
+    /// damped `zᶜ`/`zᵖ` directly (side-A positions are edge ids), the
+    /// B-side is a positional [exclusion max](sparse::exclusion_max)
+    /// with the per-edge gather fused into the `dᶜ − om` subtraction,
+    /// and the `Sᶜ` update is a [`sparse::row_scaled_map`]. All
+    /// problem-sized buffers are engine-held workspaces, so a sweep
+    /// allocates nothing proportional to the instance. Bitwise
+    /// identical to [`BpEngine::iterate_reference`] (pinned in
+    /// `docs/oracle_manifest.txt`).
     pub fn iterate(&mut self) {
+        let t0 = std::time::Instant::now();
+        self.iter += 1;
+        let beta = self.cfg.beta;
+        let alpha = self.cfg.alpha;
+        let s = self.s;
+        let offsets = s.row_offsets();
+        let perm = s.transpose_perm();
+
+        // F + dᶜ: both branches write into the persistent double buffers
+        // and swap them in.
+        let mut f_out = std::mem::take(&mut self.f_next);
+        let mut dc_out = std::mem::take(&mut self.dc_next);
+        {
+            let sp = &self.sp;
+            let w0 = &self.w0;
+            // Listing 1's clamped gather through the transpose
+            // permutation, and the `α·w + Σ` row initialization.
+            let fmap = |j: usize| (beta + sp[perm[j] as usize]).clamp(0.0, beta);
+            let init = |row: usize| alpha * w0[row];
+            if self.cfg.fused {
+                sparse::row_map_reduce(offsets, &self.plan, fmap, init, &mut f_out, &mut dc_out);
+            } else {
+                sparse::map_values(&self.plan, fmap, &mut f_out);
+                sparse::reduce_rows(offsets, &self.plan, &f_out, init, &mut dc_out);
+            }
+        }
+        self.f_next = std::mem::replace(&mut self.f, f_out);
+        self.dc_next = std::mem::replace(&mut self.dc, dc_out);
+
+        // B-side exclusion first: its input `zp` is this sweep's
+        // *pre-damp* message, and the A-side tail below damps `zp`, so
+        // the order is load-bearing. The per-edge gather is fused into
+        // the consuming `yᶜ`/`yᵖ` pass.
+        self.om_ws.cols_positional(&self.l, &self.zp);
+
+        // Damping (lines 14–16): the paper's γᵏ power decay, or constant γ.
+        let g = match self.cfg.damping {
+            DampingSchedule::PowerDecay => self.cfg.gamma.powi(self.iter as i32),
+            DampingSchedule::Constant => self.cfg.gamma,
+        };
+
+        // Telemetry: the per-sweep counter ticks are plain atomics and
+        // stay on; the derived passes (saturation count, residual) cost
+        // O(nnz) and run only when telemetry is enabled.
+        let tele = bp_tele();
+        tele.iterations.inc();
+        tele.messages_updated
+            .add((5 * self.yc.len() + 3 * self.f.len()) as u64);
+
+        if cualign_telemetry::enabled() {
+            // A-side exclusion into its positional scratch (`yᵖ` is
+            // still pre-damp here — damping stays a separate tail pass
+            // in this branch, so the residual can compare against it).
+            self.om_ws.rows_positional(&self.l, &self.yp);
+            // Gather-only `dᶜ − om` subtractions.
+            {
+                let (scratch, pos) = self.om_ws.cols_result();
+                self.yc
+                    .par_iter_mut()
+                    .zip(&self.dc)
+                    .zip(pos)
+                    .for_each(|((y, d), &p)| *y = d - scratch[p as usize]);
+            }
+            {
+                let (scratch, pos) = self.om_ws.rows_result();
+                self.zc
+                    .par_iter_mut()
+                    .zip(&self.dc)
+                    .zip(pos)
+                    .for_each(|((z, d), &p)| *z = d - scratch[p as usize]);
+            }
+            // Sᶜ = diag(yᶜ + zᶜ − dᶜ)·S − F, materialized so the residual
+            // can be derived before damping (the reference tail shape).
+            {
+                let yc = &self.yc;
+                let zc = &self.zc;
+                let dc = &self.dc;
+                let f = &self.f;
+                sparse::row_scaled_map(
+                    offsets,
+                    &self.plan,
+                    |r| yc[r] + zc[r] - dc[r],
+                    |v, j| v - f[j],
+                    &mut self.sc,
+                );
+            }
+            let saturated = self.f.iter().filter(|&&v| v <= 0.0 || v >= beta).count();
+            tele.clamp_saturations.add(saturated as u64);
+            // Residual: L∞ norm of the damped update about to be applied
+            // — the quantity whose decay under γᵏ forces convergence.
+            let linf = |cur: &[f64], prev: &[f64]| {
+                cur.iter()
+                    .zip(prev)
+                    .map(|(c, p)| (g * (c - p)).abs())
+                    .fold(0.0f64, f64::max)
+            };
+            let residual = linf(&self.yc, &self.yp)
+                .max(linf(&self.zc, &self.zp))
+                .max(linf(&self.sc, &self.sp));
+            tele.residual.record(residual);
+            let damp = |cur: &[f64], prev: &mut Vec<f64>| {
+                prev.par_iter_mut().zip(cur).for_each(|(p, c)| {
+                    *p = g * c + (1.0 - g) * *p;
+                });
+            };
+            damp(&self.yc, &mut self.yp);
+            damp(&self.zc, &mut self.zp);
+            damp(&self.sc, &mut self.sp);
+        } else {
+            // A-side exclusion fused with its whole consuming tail:
+            // side-A incidence positions coincide with edge ids (the
+            // overlap build debug-asserts this invariant), so the
+            // positional outputs of the exclusion *are* `zᶜ`/`zᵖ` — one
+            // pass computes `om`, `zᶜ = dᶜ − om` and the damped `zᵖ`
+            // without materializing the positional scratch. The damp is
+            // the same `γ·c + (1−γ)·p` expression as the separate pass,
+            // element for element, so the bits match the unfused tail.
+            // `yᵖ` (the exclusion input) is still pre-damp here.
+            {
+                let dc = &self.dc;
+                self.om_ws.rows_apply(
+                    &self.l,
+                    &self.yp,
+                    |e, om, zcv, zpv| {
+                        *zcv = dc[e] - om;
+                        *zpv = g * *zcv + (1.0 - g) * *zpv;
+                    },
+                    &mut self.zc,
+                    &mut self.zp,
+                );
+            }
+            // B-side gather + damping, fused the same way: one pass
+            // computes `yᶜ = dᶜ − om` through the position map and
+            // immediately damps `yᵖ` with it.
+            {
+                let (scratch, pos) = self.om_ws.cols_result();
+                self.yc
+                    .par_iter_mut()
+                    .zip(self.yp.par_iter_mut())
+                    .zip(&self.dc)
+                    .zip(pos)
+                    .for_each(|(((y, ypv), d), &p)| {
+                        *y = d - scratch[p as usize];
+                        *ypv = g * *y + (1.0 - g) * *ypv;
+                    });
+            }
+            // Fused Sᶜ update + Sᵖ damping: one pass writes
+            // `γ·(v − F) + (1−γ)·Sᵖ` into the `sc` buffer, then the
+            // buffers swap. `γ·(v − F[j])` is the same expression tree
+            // as `γ·Sᶜ[j]` above, so the bits match the unfused tail;
+            // `sc` itself is pure scratch between sweeps.
+            {
+                let yc = &self.yc;
+                let zc = &self.zc;
+                let dc = &self.dc;
+                let f = &self.f;
+                let sp = &self.sp;
+                sparse::row_scaled_map(
+                    offsets,
+                    &self.plan,
+                    |r| yc[r] + zc[r] - dc[r],
+                    |v, j| g * (v - f[j]) + (1.0 - g) * sp[j],
+                    &mut self.sc,
+                );
+            }
+            std::mem::swap(&mut self.sc, &mut self.sp);
+        }
+        tele.sweep_seconds.record(t0.elapsed().as_secs_f64());
+    }
+
+    /// The pre-sparse-layer message update, kept verbatim as the pinned
+    /// bitwise oracle for [`BpEngine::iterate`] (see
+    /// `docs/oracle_manifest.txt`): hand-rolled per-row loops, a fresh
+    /// `om` buffer per sweep, and the collect-and-apply othermax. Used
+    /// by the equivalence property suite and by `bench_bp` as the
+    /// speedup baseline.
+    pub fn iterate_reference(&mut self) {
+        let t0 = std::time::Instant::now();
         self.iter += 1;
         let beta = self.cfg.beta;
         let alpha = self.cfg.alpha;
@@ -298,13 +507,13 @@ impl<'a> BpEngine<'a> {
 
         // y/z exclusivity messages.
         let mut om = vec![0.0; self.yc.len()];
-        othermax_cols(&self.l, &self.zp, &mut om);
+        othermax_cols_reference(&self.l, &self.zp, &mut om);
         self.yc
             .par_iter_mut()
             .zip(&self.dc)
             .zip(&om)
             .for_each(|((y, d), o)| *y = d - o);
-        othermax_rows(&self.l, &self.yp, &mut om);
+        othermax_rows_reference(&self.l, &self.yp, &mut om);
         self.zc
             .par_iter_mut()
             .zip(&self.dc)
@@ -367,6 +576,7 @@ impl<'a> BpEngine<'a> {
         damp(&self.yc, &mut self.yp);
         damp(&self.zc, &mut self.zp);
         damp(&self.sc, &mut self.sp);
+        tele.sweep_seconds.record(t0.elapsed().as_secs_f64());
     }
 
     fn run_matcher(&self) -> Matching {

@@ -10,8 +10,19 @@
 //!
 //! These are the exclusivity messages: for edge `(a, b)`, "the best the
 //! rest of `a`'s (resp. `b`'s) candidates could do without me".
+//!
+//! The sweeps execute on [`cualign_linalg::sparse::exclusion_max`]: one
+//! merge-balanced grouped pass over the side-CSR writing *positional*
+//! outputs (entry `p` of the side's incidence array), plus a precomputed
+//! inverse position map to read the result back per edge id. All
+//! buffers live in an [`OthermaxWorkspace`] so repeated sweeps allocate
+//! nothing. The original collect-and-apply implementation is kept as
+//! [`othermax_rows_reference`] / [`othermax_cols_reference`] — the
+//! pinned oracles of `docs/oracle_manifest.txt`; the selection order is
+//! identical, so agreement is bitwise.
 
 use cualign_graph::{BipartiteGraph, Side, VertexId};
+use cualign_linalg::sparse::{exclusion_max, exclusion_max_apply, MergePlan};
 use rayon::prelude::*;
 
 /// Computes othermax over one group (slice of edge ids) of `values`,
@@ -45,17 +56,172 @@ fn othermax_group(edge_ids: &[u32], values: &[f64], out: &mut [f64]) {
     }
 }
 
+/// Reusable buffers and merge plans for the othermax sweeps: one
+/// positional scratch per side (sized `|E_L|`, so both sides can hold
+/// their exclusion results at once — the engine runs both exclusions
+/// before the fused gather+damp passes consume them), the per-side
+/// inverse position maps, and one [`MergePlan`] per side-CSR. Build
+/// once per `L`, reuse every sweep.
+pub struct OthermaxWorkspace {
+    scratch_a: Vec<f64>,
+    scratch_b: Vec<f64>,
+    pos_a: Vec<u32>,
+    pos_b: Vec<u32>,
+    plan_a: MergePlan,
+    plan_b: MergePlan,
+}
+
+impl OthermaxWorkspace {
+    /// Builds the workspace for `l`: inverse position maps (`pos[e]` =
+    /// position of edge `e` in the side's incidence array) and the
+    /// merge plans over both side-CSRs.
+    pub fn new(l: &BipartiteGraph) -> Self {
+        let m = l.num_edges();
+        let mut pos_a = vec![0u32; m];
+        for (p, &e) in l.eids(Side::A).iter().enumerate() {
+            pos_a[e as usize] = p as u32;
+        }
+        let mut pos_b = vec![0u32; m];
+        for (p, &e) in l.eids(Side::B).iter().enumerate() {
+            pos_b[e as usize] = p as u32;
+        }
+        OthermaxWorkspace {
+            scratch_a: vec![0.0; m],
+            scratch_b: vec![0.0; m],
+            pos_a,
+            pos_b,
+            plan_a: MergePlan::new(l.offsets(Side::A)),
+            plan_b: MergePlan::new(l.offsets(Side::B)),
+        }
+    }
+
+    /// Runs the A-side (per-row) exclusion max of `values` into the
+    /// A-side positional scratch. Returns `(scratch, pos_a)`: the
+    /// othermax of edge `e` is `scratch[pos_a[e]]` — callers fuse the
+    /// gather into their consuming pass. The B-side scratch is left
+    /// untouched, so both sides' results can coexist.
+    pub fn rows_positional(&mut self, l: &BipartiteGraph, values: &[f64]) -> (&[f64], &[u32]) {
+        exclusion_max(
+            l.offsets(Side::A),
+            &self.plan_a,
+            l.eids(Side::A),
+            values,
+            &mut self.scratch_a,
+        );
+        (&self.scratch_a, &self.pos_a)
+    }
+
+    /// B-side (per-column) counterpart of
+    /// [`OthermaxWorkspace::rows_positional`], writing the B-side
+    /// scratch.
+    pub fn cols_positional(&mut self, l: &BipartiteGraph, values: &[f64]) -> (&[f64], &[u32]) {
+        exclusion_max(
+            l.offsets(Side::B),
+            &self.plan_b,
+            l.eids(Side::B),
+            values,
+            &mut self.scratch_b,
+        );
+        (&self.scratch_b, &self.pos_b)
+    }
+
+    /// The A-side scratch and position map as last written by
+    /// [`OthermaxWorkspace::rows_positional`] — for callers that run
+    /// both sides' exclusions first and fuse both gathers afterwards.
+    pub fn rows_result(&self) -> (&[f64], &[u32]) {
+        (&self.scratch_a, &self.pos_a)
+    }
+
+    /// A-side exclusion max fused with a caller epilogue
+    /// ([`exclusion_max_apply`]): for each position `p` of the A-side
+    /// incidence array, calls `apply(p, om, &mut out1[p], &mut
+    /// out2[p])` where `om` is the exclusion max of `values` over the
+    /// other edges of `p`'s A-vertex. Skips the positional scratch
+    /// entirely — the BP engine uses this for its `zᶜ`/`zᵖ` tail,
+    /// where side-A positions coincide with edge ids, so the
+    /// positional outputs *are* the edge-indexed message arrays.
+    pub fn rows_apply(
+        &self,
+        l: &BipartiteGraph,
+        values: &[f64],
+        apply: impl Fn(usize, f64, &mut f64, &mut f64) + Sync,
+        out1: &mut [f64],
+        out2: &mut [f64],
+    ) {
+        exclusion_max_apply(
+            l.offsets(Side::A),
+            &self.plan_a,
+            l.eids(Side::A),
+            values,
+            apply,
+            out1,
+            out2,
+        );
+    }
+
+    /// The B-side counterpart of [`OthermaxWorkspace::rows_result`].
+    pub fn cols_result(&self) -> (&[f64], &[u32]) {
+        (&self.scratch_b, &self.pos_b)
+    }
+}
+
 /// `othermaxrow`: groups are the A-side rows (edges sharing an A vertex).
-pub fn othermax_rows(l: &BipartiteGraph, values: &[f64], out: &mut [f64]) {
-    othermax_side(l, Side::A, values, out)
+/// Allocation-free variant over a caller-held [`OthermaxWorkspace`].
+pub fn othermax_rows_with(
+    l: &BipartiteGraph,
+    ws: &mut OthermaxWorkspace,
+    values: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(values.len(), l.num_edges(), "message length mismatch");
+    assert_eq!(out.len(), l.num_edges(), "output length mismatch");
+    let (scratch, pos) = ws.rows_positional(l, values);
+    out.par_iter_mut()
+        .zip(pos)
+        .for_each(|(o, &p)| *o = scratch[p as usize]);
 }
 
 /// `othermaxcol`: groups are the B-side rows (edges sharing a B vertex).
-pub fn othermax_cols(l: &BipartiteGraph, values: &[f64], out: &mut [f64]) {
-    othermax_side(l, Side::B, values, out)
+/// Allocation-free variant over a caller-held [`OthermaxWorkspace`].
+pub fn othermax_cols_with(
+    l: &BipartiteGraph,
+    ws: &mut OthermaxWorkspace,
+    values: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(values.len(), l.num_edges(), "message length mismatch");
+    assert_eq!(out.len(), l.num_edges(), "output length mismatch");
+    let (scratch, pos) = ws.cols_positional(l, values);
+    out.par_iter_mut()
+        .zip(pos)
+        .for_each(|(o, &p)| *o = scratch[p as usize]);
 }
 
-fn othermax_side(l: &BipartiteGraph, side: Side, values: &[f64], out: &mut [f64]) {
+/// `othermaxrow` with a throwaway workspace (convenience / benches; the
+/// BP engine holds a persistent [`OthermaxWorkspace`] instead).
+pub fn othermax_rows(l: &BipartiteGraph, values: &[f64], out: &mut [f64]) {
+    let mut ws = OthermaxWorkspace::new(l);
+    othermax_rows_with(l, &mut ws, values, out)
+}
+
+/// `othermaxcol` with a throwaway workspace.
+pub fn othermax_cols(l: &BipartiteGraph, values: &[f64], out: &mut [f64]) {
+    let mut ws = OthermaxWorkspace::new(l);
+    othermax_cols_with(l, &mut ws, values, out)
+}
+
+/// Pinned oracle for [`othermax_rows`]: the original collect-and-apply
+/// implementation (per-group scratch allocation + serial write-back).
+pub fn othermax_rows_reference(l: &BipartiteGraph, values: &[f64], out: &mut [f64]) {
+    othermax_side_reference(l, Side::A, values, out)
+}
+
+/// Pinned oracle for [`othermax_cols`].
+pub fn othermax_cols_reference(l: &BipartiteGraph, values: &[f64], out: &mut [f64]) {
+    othermax_side_reference(l, Side::B, values, out)
+}
+
+fn othermax_side_reference(l: &BipartiteGraph, side: Side, values: &[f64], out: &mut [f64]) {
     assert_eq!(values.len(), l.num_edges(), "message length mismatch");
     assert_eq!(out.len(), l.num_edges(), "output length mismatch");
     let n = match side {
@@ -168,6 +334,35 @@ mod tests {
         othermax_single_group(&ids, &vals, &mut out);
         assert_eq!(out[0], -5.0);
         assert_eq!(out[1], -2.0);
+    }
+
+    #[test]
+    fn fast_paths_match_references_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let triples: Vec<(u32, u32, f64)> = (0..200)
+            .map(|_| (rng.gen_range(0..20), rng.gen_range(0..20), 1.0))
+            .collect();
+        let l = BipartiteGraph::from_weighted_edges(20, 20, &triples);
+        let vals: Vec<f64> = (0..l.num_edges())
+            .map(|_| rng.gen::<f64>() * 4.0 - 2.0)
+            .collect();
+        let mut ws = OthermaxWorkspace::new(&l);
+        let m = l.num_edges();
+        let (mut fast, mut slow) = (vec![0.0; m], vec![0.0; m]);
+        othermax_rows_with(&l, &mut ws, &vals, &mut fast);
+        othermax_rows_reference(&l, &vals, &mut slow);
+        assert_eq!(
+            fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        othermax_cols_with(&l, &mut ws, &vals, &mut fast);
+        othermax_cols_reference(&l, &vals, &mut slow);
+        assert_eq!(
+            fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

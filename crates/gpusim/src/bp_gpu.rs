@@ -2,17 +2,30 @@
 //!
 //! [`simulate_bp`] runs the reference [`BpEngine`] for the numerics and
 //! charges each of Algorithm 2's kernels against a [`DeviceSpec`] using the
-//! run's *real* sparsity structure:
+//! run's *real* sparsity structure. Since the sweeps moved onto
+//! `linalg::sparse`, the CSR-shaped kernels are charged per **merge
+//! chunk** (equal-nnz work items from the same [`MergePlan`] the CPU
+//! path uses, [`MERGE_CHUNK_NNZ`] nonzeros each) instead of per row:
+//! lane-slot and transaction accounting then reflects the balanced
+//! distribution, and skewed degrees no longer produce a hub-row
+//! critical-path tail — the point of merge-path balancing:
 //!
 //! | kernel | work items | size | access pattern |
 //! |---|---|---|---|
-//! | fused `F`+`dᶜ` (Listing 1) | rows of `S` | row degree | `Sᵖ[perm[j]]` scattered, `F`/`dᶜ` coalesced |
-//! | unfused `F` then `dᶜ` | rows of `S` ×2 | row degree | same + re-reads `F` |
-//! | othermaxcol → `yᶜ` | B vertices | `deg_B` | B-side CSR is an indirection → scattered |
-//! | othermaxrow → `zᶜ` | A vertices | `deg_A` | A-side CSR is the canonical order → coalesced |
-//! | `Sᶜ` update | rows of `S` | row degree | coalesced |
-//! | damping `yᵖ/zᵖ` | edges | 1 | coalesced elementwise |
-//! | damping `Sᵖ` | rows of `S` | row degree | coalesced |
+//! | fused `F`+`dᶜ` (Listing 1) | merge chunks of `S` | chunk nnz | `Sᵖ[perm[j]]` scattered, `F`/`dᶜ` coalesced |
+//! | straddle fixup | straddle rows of `S` | row degree | serial re-sum of chunk-crossing rows |
+//! | unfused `F` then `dᶜ` | merge chunks of `S` ×2 | chunk nnz | same + re-reads `F` |
+//! | othermaxcol (positional) | merge chunks of B-side CSR | chunk nnz | b_eids indirection → scattered reads, coalesced scratch |
+//! | gather + damp → `yᶜ`/`yᵖ` | edges | 1 | positional scratch scattered, rest coalesced |
+//! | othermaxrow + `zᶜ`/`zᵖ` tail | merge chunks of A-side CSR | chunk nnz | canonical edge order → coalesced (`exclusion_max_apply`) |
+//! | `Sᶜ` update + `Sᵖ` damp | merge chunks of `S` | chunk nnz | coalesced |
+//!
+//! The othermax / damping family mirrors the engine's fused tail: the
+//! A-side exclusion writes the damped `zᶜ`/`zᵖ` in place (side-A
+//! positions are edge ids), the B-side exclusion materializes its
+//! positional scratch and one gather pass produces the damped
+//! `yᶜ`/`yᵖ`, and the `Sᶜ` row update damps `Sᵖ` as it goes — no
+//! standalone damping kernels remain.
 //!
 //! [`model_bp_iteration`] charges one iteration without running numerics,
 //! so device sweeps don't pay for repeated BP runs.
@@ -22,7 +35,14 @@ use crate::exec::{simulate_launch, ExecConfig, LaunchStats};
 use crate::footprint::Footprint;
 use cualign_bp::{BpConfig, BpEngine, BpOutcome};
 use cualign_graph::{BipartiteGraph, VertexId};
+use cualign_linalg::sparse::MergePlan;
 use cualign_overlap::OverlapMatrix;
+
+/// Nonzeros per merge chunk charged to the modeled CSR kernels. 256 f64
+/// messages fill eight 32-lane strips — deep enough to amortize the
+/// chunk's binary-search setup, small enough that a hot row spreads over
+/// many chunks.
+pub const MERGE_CHUNK_NNZ: usize = 256;
 
 /// Timing report for a BP phase under one device model.
 #[derive(Clone, Debug)]
@@ -40,16 +60,49 @@ pub struct BpGpuReport {
     pub idle_fraction: f64,
 }
 
-fn row_sizes(s: &OverlapMatrix) -> Vec<usize> {
-    (0..s.num_rows()).map(|e| s.row_degree(e as u32)).collect()
+/// Work distribution of one merge-balanced kernel: per-chunk nnz spans
+/// (the launch's work items), the amortized owned-row count per chunk
+/// (row-indexed loads/stores are spread evenly by construction), and the
+/// straddle rows' full degrees (the serial re-sum fixup pass).
+struct MergeModel {
+    chunk_sizes: Vec<usize>,
+    rows_per_chunk: usize,
+    straddle_sizes: Vec<usize>,
 }
 
-fn degree_sizes_a(l: &BipartiteGraph) -> Vec<usize> {
-    (0..l.na()).map(|a| l.degree_a(a as VertexId)).collect()
+fn merge_model(offsets: &[usize]) -> MergeModel {
+    let plan = MergePlan::with_chunk_nnz(offsets, MERGE_CHUNK_NNZ);
+    let chunk_sizes: Vec<usize> = plan.chunks().iter().map(|c| c.end - c.begin).collect();
+    let rows = offsets.len() - 1;
+    let rows_per_chunk = rows.div_ceil(chunk_sizes.len().max(1)).max(1);
+    let straddle_sizes = plan
+        .straddle_rows()
+        .iter()
+        .map(|&r| offsets[r + 1] - offsets[r])
+        .collect();
+    MergeModel {
+        chunk_sizes,
+        rows_per_chunk,
+        straddle_sizes,
+    }
 }
 
-fn degree_sizes_b(l: &BipartiteGraph) -> Vec<usize> {
-    (0..l.nb()).map(|b| l.degree_b(b as VertexId)).collect()
+fn side_offsets_a(l: &BipartiteGraph) -> Vec<usize> {
+    let mut off = Vec::with_capacity(l.na() + 1);
+    off.push(0);
+    for a in 0..l.na() {
+        off.push(off[a] + l.degree_a(a as VertexId));
+    }
+    off
+}
+
+fn side_offsets_b(l: &BipartiteGraph) -> Vec<usize> {
+    let mut off = Vec::with_capacity(l.nb() + 1);
+    off.push(0);
+    for b in 0..l.nb() {
+        off.push(off[b] + l.degree_b(b as VertexId));
+    }
+    off
 }
 
 /// Charges one BP iteration's kernels. Returns `(per-kernel stats,
@@ -61,94 +114,109 @@ pub fn model_bp_iteration(
     device: &DeviceSpec,
     exec: &ExecConfig,
 ) -> (Vec<(&'static str, LaunchStats)>, f64) {
-    let rows = row_sizes(s);
-    let deg_a = degree_sizes_a(l);
-    let deg_b = degree_sizes_b(l);
+    let ms = merge_model(s.row_offsets());
+    let ma = merge_model(&side_offsets_a(l));
+    let mb = merge_model(&side_offsets_b(l));
+    let rpc = ms.rows_per_chunk;
     let mut kernels: Vec<(&'static str, LaunchStats)> = Vec::new();
 
     if fused {
-        // Listing 1: one pass reads Sᵖ via perm (scattered), writes F,
-        // reduces into dᶜ.
+        // Listing 1 over merge chunks: one pass reads Sᵖ via perm
+        // (scattered), writes F, reduces into dᶜ. Row-indexed traffic
+        // (`w[row]`, `dc[row]`) amortizes to `rpc` elements per chunk.
         kernels.push((
             "fused_f_dc",
-            simulate_launch(device, exec, &rows, |sz| Footprint {
-                contiguous_reads: 1,       // w[row]
-                scattered_reads: sz,       // sp[perm[j]]
-                contiguous_writes: sz + 1, // F row + dc[row]
+            simulate_launch(device, exec, &ms.chunk_sizes, |sz| Footprint {
+                contiguous_reads: rpc,       // w[row] per owned row
+                scattered_reads: sz,         // sp[perm[j]]
+                contiguous_writes: sz + rpc, // F span + dc[row]
                 scattered_writes: 0,
-                flops: 3 * sz + 2,
+                flops: 3 * sz + 2 * rpc,
             }),
         ));
+        // Rows crossing interior chunk boundaries are re-summed serially
+        // from the materialized F values to keep the FP chain exact.
+        if !ms.straddle_sizes.is_empty() {
+            kernels.push((
+                "merge_fixup",
+                simulate_launch(device, exec, &ms.straddle_sizes, |sz| Footprint {
+                    contiguous_reads: sz + 1,
+                    contiguous_writes: 1,
+                    flops: sz + 1,
+                    ..Default::default()
+                }),
+            ));
+        }
     } else {
         kernels.push((
             "unfused_f",
-            simulate_launch(device, exec, &rows, |sz| Footprint {
+            simulate_launch(device, exec, &ms.chunk_sizes, |sz| Footprint {
                 scattered_reads: sz,
                 contiguous_writes: sz,
                 flops: 2 * sz,
                 ..Default::default()
             }),
         ));
+        // Row reduction walks whole owned rows (straddle rows read past
+        // the chunk boundary), so no fixup launch is charged here.
         kernels.push((
             "unfused_dc",
-            simulate_launch(device, exec, &rows, |sz| Footprint {
-                contiguous_reads: sz + 1, // re-read F + w[row]
-                contiguous_writes: 1,
-                flops: sz + 2,
+            simulate_launch(device, exec, &ms.chunk_sizes, |sz| Footprint {
+                contiguous_reads: sz + rpc, // re-read F + w[row]
+                contiguous_writes: rpc,
+                flops: sz + 2 * rpc,
                 ..Default::default()
             }),
         ));
     }
 
-    // othermaxcol over zᵖ → yᶜ: B-side rows go through the b_eids
-    // indirection, so the message loads/stores are scattered.
+    // othermaxcol over zᵖ into the positional B-side scratch: the
+    // message loads go through the b_eids indirection (scattered), the
+    // scratch writes are coalesced.
     kernels.push((
-        "othermax_col_yc",
-        simulate_launch(device, exec, &deg_b, |sz| Footprint {
-            scattered_reads: 2 * sz, // zp[eid], dc[eid]
-            scattered_writes: sz,    // yc[eid]
-            flops: 3 * sz,
+        "othermax_col",
+        simulate_launch(device, exec, &mb.chunk_sizes, |sz| Footprint {
+            scattered_reads: sz,    // zp[eid]
+            contiguous_writes: sz,  // positional scratch
+            flops: 2 * sz,
             ..Default::default()
         }),
     ));
-    // othermaxrow over yᵖ → zᶜ: A-side rows are the canonical edge order —
-    // coalesced (the asymmetry the paper's Listing 2 exploits).
-    kernels.push((
-        "othermax_row_zc",
-        simulate_launch(device, exec, &deg_a, |sz| Footprint {
-            contiguous_reads: 2 * sz,
-            contiguous_writes: sz,
-            flops: 3 * sz,
-            ..Default::default()
-        }),
-    ));
-    // Sᶜ = diag(yᶜ+zᶜ−dᶜ)·S − F.
-    kernels.push((
-        "sc_update",
-        simulate_launch(device, exec, &rows, |sz| Footprint {
-            contiguous_reads: sz + 3,
-            contiguous_writes: sz,
-            flops: 2 * sz + 2,
-            ..Default::default()
-        }),
-    ));
-    // Damping: y/z elementwise, then Sᵖ rows.
+    // Fused gather + damp: yᶜ = dᶜ − scratch[pos], yᵖ = γ·yᶜ + (1−γ)·yᵖ
+    // per edge — the scratch read is the only scattered access.
     let m_edges = vec![1usize; l.num_edges()];
     kernels.push((
-        "damp_yz",
+        "gather_damp_yc_yp",
         simulate_launch(device, exec, &m_edges, |_| Footprint {
-            contiguous_reads: 4,
-            contiguous_writes: 2,
-            flops: 6,
+            contiguous_reads: 3, // pos, dc, yp
+            scattered_reads: 1,  // scratch[pos]
+            contiguous_writes: 2, // yc, yp
+            flops: 4,
             ..Default::default()
         }),
     ));
+    // othermaxrow over yᵖ fused with its whole tail
+    // (`sparse::exclusion_max_apply`): A-side rows are the canonical
+    // edge order — coalesced (the asymmetry the paper's Listing 2
+    // exploits) — so the exclusion writes the damped `zᶜ`/`zᵖ` directly
+    // with no positional scratch round-trip.
     kernels.push((
-        "damp_sp",
-        simulate_launch(device, exec, &rows, |sz| Footprint {
-            contiguous_reads: 2 * sz,
+        "othermax_row_zc_zp",
+        simulate_launch(device, exec, &ma.chunk_sizes, |sz| Footprint {
+            contiguous_reads: 3 * sz,  // yp, dc, zp
+            contiguous_writes: 2 * sz, // zc, zp
+            flops: 6 * sz,
+            ..Default::default()
+        }),
+    ));
+    // Sᶜ = diag(yᶜ+zᶜ−dᶜ)·S − F fused with the Sᵖ damp:
+    // Sᵖ' = γ·Sᶜ + (1−γ)·Sᵖ written in one row-scaled pass.
+    kernels.push((
+        "sc_update_damp_sp",
+        simulate_launch(device, exec, &ms.chunk_sizes, |sz| Footprint {
+            contiguous_reads: 2 * sz + 3 * rpc, // F, Sᵖ + yc/zc/dc per row
             contiguous_writes: sz,
-            flops: 3 * sz,
+            flops: 4 * sz + 2 * rpc,
             ..Default::default()
         }),
     ));
@@ -304,6 +372,62 @@ mod tests {
         assert_eq!(report.iterations, 8);
     }
 
+    /// Hub-skewed instance: one vertex pairs with everything, so `S` gets
+    /// a dominant hot row. Charging per merge chunk must waste fewer lane
+    /// slots and model less time than charging the same footprint per
+    /// row, and the straddle fixup kernel must appear.
+    #[test]
+    fn merge_chunks_balance_skewed_rows() {
+        let n = 400usize;
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = erdos_renyi_gnm(n, n * 3, &mut rng);
+        let p = Permutation::random(n, &mut rng);
+        let b = p.apply_to_graph(&a);
+        let mut triples = Vec::new();
+        for i in 0..n as VertexId {
+            triples.push((i, p.apply(i), 0.5));
+            triples.push((0, i, 0.5));
+            triples.push((i, 0, 0.5));
+        }
+        let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+        let s = OverlapMatrix::build(&a, &b, &l);
+        let gpu = DeviceSpec::a100();
+        let exec = ExecConfig::optimized();
+
+        let (kernels, _) = model_bp_iteration(&l, &s, true, &gpu, &exec);
+        let names: Vec<&str> = kernels.iter().map(|(n, _)| *n).collect();
+        assert!(
+            names.contains(&"merge_fixup"),
+            "skewed S must have straddle rows to fix up"
+        );
+        let chunked = &kernels
+            .iter()
+            .find(|(n, _)| *n == "fused_f_dc")
+            .expect("fused kernel present")
+            .1;
+        // The same footprint charged per row of S: the hub row serializes.
+        let rows: Vec<usize> = (0..s.num_rows()).map(|e| s.row_degree(e as u32)).collect();
+        let per_row = simulate_launch(&gpu, &exec, &rows, |sz| Footprint {
+            contiguous_reads: 1,
+            scattered_reads: sz,
+            contiguous_writes: sz + 1,
+            scattered_writes: 0,
+            flops: 3 * sz + 2,
+        });
+        assert!(
+            chunked.idle_fraction() <= per_row.idle_fraction() + 1e-12,
+            "chunked idle {} > per-row idle {}",
+            chunked.idle_fraction(),
+            per_row.idle_fraction()
+        );
+        assert!(
+            chunked.seconds < per_row.seconds,
+            "chunked {} ≥ per-row {}",
+            chunked.seconds,
+            per_row.seconds
+        );
+    }
+
     #[test]
     fn report_kernels_cover_pipeline() {
         let (l, s) = instance(30, 4);
@@ -317,11 +441,10 @@ mod tests {
         let names: Vec<&str> = r.per_kernel.iter().map(|(n, _)| *n).collect();
         for expected in [
             "fused_f_dc",
-            "othermax_col_yc",
-            "othermax_row_zc",
-            "sc_update",
-            "damp_yz",
-            "damp_sp",
+            "othermax_col",
+            "gather_damp_yc_yp",
+            "othermax_row_zc_zp",
+            "sc_update_damp_sp",
         ] {
             assert!(names.contains(&expected), "missing kernel {expected}");
         }

@@ -12,24 +12,50 @@
 //!   (`deg_A(u) + deg_B(v)` loads) and the quadratic pass runs from
 //!   on-chip storage.
 //!
-//! Work items are the edges of `L`, sized by their candidate-pair count —
-//! the same binning/virtual-warp machinery as the BP kernels.
+//! The build is modeled as the same **two-phase** pass the CPU
+//! implementation now runs: a *count* launch over the edges of `L`
+//! (sized by candidate-pair count), a prefix-scan over the row counts,
+//! and a *fill* launch charged per **merge chunk** of the output CSR
+//! (equal-nnz work items, [`MERGE_CHUNK_NNZ`] apiece), so lane-slot and
+//! transaction accounting reflects the balanced fill distribution even
+//! when a hub edge owns most of a row.
 
+use crate::bp_gpu::MERGE_CHUNK_NNZ;
 use crate::device::DeviceSpec;
 use crate::exec::{simulate_launch, ExecConfig, LaunchStats};
 use crate::footprint::Footprint;
 use cualign_graph::{BipartiteGraph, CsrGraph};
+use cualign_linalg::sparse::MergePlan;
 use cualign_overlap::OverlapMatrix;
 
 /// Modeled cost of building `S` on `device`.
 #[derive(Clone, Debug)]
 pub struct OverlapBuildReport {
-    /// Modeled seconds.
+    /// Modeled seconds (all phases).
     pub seconds: f64,
-    /// Launch statistics.
-    pub stats: LaunchStats,
+    /// Per-phase launch statistics: `overlap_count`, `overlap_offsets`,
+    /// `overlap_fill`.
+    pub phases: Vec<(&'static str, LaunchStats)>,
     /// Whether the shared-memory staging was modeled.
     pub shared_memory: bool,
+}
+
+impl OverlapBuildReport {
+    /// Total modeled memory transactions across phases.
+    pub fn transactions(&self) -> u64 {
+        self.phases.iter().map(|(_, st)| st.transactions()).sum()
+    }
+
+    /// Total idle-lane fraction across phases.
+    pub fn idle_fraction(&self) -> f64 {
+        let a: u64 = self.phases.iter().map(|(_, s)| s.active_lane_slots()).sum();
+        let i: u64 = self.phases.iter().map(|(_, s)| s.idle_lane_slots()).sum();
+        if a + i == 0 {
+            0.0
+        } else {
+            i as f64 / (a + i) as f64
+        }
+    }
 }
 
 /// Per-edge work sizes: `deg_A(u) · deg_B(v)` candidate pairs.
@@ -40,8 +66,12 @@ fn pair_counts(a: &CsrGraph, b: &CsrGraph, l: &BipartiteGraph) -> Vec<usize> {
         .collect()
 }
 
-/// Models the Algorithm-3 kernel. The per-item footprint depends on
-/// `shared_memory`; the lookup of `(u', v') ∈ E_L` is charged as one
+/// Inverse hit ratio assumed by the model: one in `HIT_RATIO` candidate
+/// pairs is an actual square (a surviving nonzero of `S`).
+const HIT_RATIO: usize = 8;
+
+/// Models the two-phase Algorithm-3 build. The per-item footprint depends
+/// on `shared_memory`; the lookup of `(u', v') ∈ E_L` is charged as one
 /// scattered read per candidate pair either way (a hashed/binary probe of
 /// global memory).
 pub fn model_overlap_build(
@@ -56,30 +86,77 @@ pub fn model_overlap_build(
     // Average neighborhood split per item: size = dA·dB; staging cost is
     // dA + dB ≈ 2·√size for the model (exact split is irrelevant at the
     // fidelity of a footprint model).
-    let stats = simulate_launch(device, exec, &sizes, move |sz| {
-        let staged = (2.0 * (sz.max(1) as f64).sqrt()).ceil() as usize;
+    let staged = |sz: usize| (2.0 * (sz.max(1) as f64).sqrt()).ceil() as usize;
+
+    // Phase 1 — count: traverse the candidate pairs, write one row count
+    // per edge, no column output.
+    let count = simulate_launch(device, exec, &sizes, move |sz| {
         if shared_memory {
             Footprint {
-                contiguous_reads: staged,  // one pass over each adjacency list
-                scattered_reads: sz,       // the E_L membership probes
-                contiguous_writes: sz / 8, // hit ratio: only present pairs write
+                contiguous_reads: staged(sz), // one pass over each adjacency list
+                scattered_reads: sz,          // the E_L membership probes
+                contiguous_writes: 1,         // row_counts[e]
                 flops: 2 * sz,
                 ..Default::default()
             }
         } else {
             Footprint {
-                contiguous_reads: 0,
                 // Re-read the B adjacency per A-neighbor, plus the probes.
                 scattered_reads: 2 * sz,
-                contiguous_writes: sz / 8,
+                contiguous_writes: 1,
                 flops: 2 * sz,
                 ..Default::default()
             }
         }
     });
+
+    // Prefix scan of the m row counts into row offsets.
+    let scan_sizes = vec![1usize; l.num_edges()];
+    let offsets_scan = simulate_launch(device, exec, &scan_sizes, |_| Footprint {
+        contiguous_reads: 1,
+        contiguous_writes: 1,
+        flops: 1,
+        ..Default::default()
+    });
+
+    // Phase 2 — fill: charged per merge chunk of the (estimated) output
+    // CSR. Each chunk re-traverses the pairs that produced its nonzeros
+    // and writes its column span plus the transpose permutation.
+    let mut est_offsets = Vec::with_capacity(sizes.len() + 1);
+    est_offsets.push(0usize);
+    for &sz in &sizes {
+        est_offsets.push(est_offsets.last().copied().unwrap_or(0) + sz / HIT_RATIO);
+    }
+    let plan = MergePlan::with_chunk_nnz(&est_offsets, MERGE_CHUNK_NNZ);
+    let fill_sizes: Vec<usize> = plan.chunks().iter().map(|c| c.end - c.begin).collect();
+    let fill = simulate_launch(device, exec, &fill_sizes, move |nnz| {
+        let pairs = nnz * HIT_RATIO;
+        if shared_memory {
+            Footprint {
+                contiguous_reads: staged(pairs),
+                scattered_reads: pairs + nnz, // probes + transpose binary search
+                contiguous_writes: 2 * nnz,   // col_idx span + transpose_perm
+                flops: 2 * pairs,
+                ..Default::default()
+            }
+        } else {
+            Footprint {
+                scattered_reads: 2 * pairs + nnz,
+                contiguous_writes: 2 * nnz,
+                flops: 2 * pairs,
+                ..Default::default()
+            }
+        }
+    });
+
+    let phases = vec![
+        ("overlap_count", count),
+        ("overlap_offsets", offsets_scan),
+        ("overlap_fill", fill),
+    ];
     OverlapBuildReport {
-        seconds: stats.seconds,
-        stats,
+        seconds: phases.iter().map(|(_, st)| st.seconds).sum(),
+        phases,
         shared_memory,
     }
 }
@@ -134,7 +211,41 @@ mod tests {
             with.seconds,
             without.seconds
         );
-        assert!(with.stats.transactions() < without.stats.transactions());
+        assert!(with.transactions() < without.transactions());
+    }
+
+    /// The fill phase's merge chunks are equal-nnz work items: on a
+    /// hub-skewed candidate set they must waste fewer lane slots than the
+    /// per-edge count phase, and the phase set must cover count → scan →
+    /// fill.
+    #[test]
+    fn fill_phase_is_merge_balanced() {
+        let (a, b, mut l) = instance(600, 5);
+        // Skew: pair vertex 0 with everything, creating a hub edge whose
+        // candidate-pair count dwarfs the rest.
+        let n = 600;
+        let mut triples: Vec<(VertexId, VertexId, f64)> = l
+            .edges()
+            .iter()
+            .map(|e| (e.a, e.b, 0.5))
+            .collect();
+        for j in 0..n as VertexId {
+            triples.push((0, j, 0.5));
+        }
+        l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+        let report =
+            model_overlap_build(&a, &b, &l, &DeviceSpec::a100(), &ExecConfig::optimized(), true);
+        let names: Vec<&str> = report.phases.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["overlap_count", "overlap_offsets", "overlap_fill"]);
+        let count = &report.phases[0].1;
+        let fill = &report.phases[2].1;
+        assert!(
+            fill.idle_fraction() <= count.idle_fraction() + 1e-12,
+            "fill idle {} > count idle {}",
+            fill.idle_fraction(),
+            count.idle_fraction()
+        );
+        assert!(report.transactions() > 0);
     }
 
     #[test]

@@ -234,6 +234,26 @@ impl BipartiteGraph {
         &self.b_eids[self.b_offsets[b as usize]..self.b_offsets[b as usize + 1]]
     }
 
+    /// B-side endpoints of the A-side CSR row for `a`, ascending —
+    /// parallel to [`BipartiteGraph::row_a`]. The overlap build's merge
+    /// intersections walk this slice against `B`'s adjacency.
+    #[inline]
+    pub fn targets_a(&self, a: VertexId) -> &[VertexId] {
+        &self.a_targets[self.a_offsets[a as usize]..self.a_offsets[a as usize + 1]]
+    }
+
+    /// Flat edge-id array of the requested side's CSR, parallel to
+    /// [`BipartiteGraph::offsets`] — position `p` of side `s` holds the
+    /// id of the `p`-th incidence. The sparse othermax kernel indexes
+    /// messages through this slice and writes positional outputs.
+    #[inline]
+    pub fn eids(&self, side: Side) -> &[EdgeId] {
+        match side {
+            Side::A => &self.a_eids,
+            Side::B => &self.b_eids,
+        }
+    }
+
     /// CSR offsets for the requested side.
     pub fn offsets(&self, side: Side) -> &[usize] {
         match side {

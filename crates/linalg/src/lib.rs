@@ -17,6 +17,10 @@
 //! * [`procrustes`] — the orthogonal-Procrustes rotation solver,
 //! * [`sinkhorn`](mod@sinkhorn) — entropic optimal transport (the "Sinkhorn optimization"
 //!   of §4.1) for soft correspondences between embeddings,
+//! * [`sparse`] — GraphBLAST-style CSR kernels (SpMV/SpMM, masked
+//!   variants, structural-mask apply) with merge-based row balancing;
+//!   the layer the BP sweeps and the overlap build execute on,
+//!   bitwise-pinned to naive reference loops,
 //! * [`vecops`] — embedding-vector kernels (dot, cosine similarity, row
 //!   normalization).
 //!
@@ -39,6 +43,7 @@ pub mod gemm;
 pub mod procrustes;
 pub mod qr;
 pub mod sinkhorn;
+pub mod sparse;
 pub mod svd;
 pub mod vecops;
 
@@ -49,4 +54,5 @@ pub use sinkhorn::{
     sinkhorn, sinkhorn_reference, sinkhorn_warm_with, sinkhorn_with, SinkhornOptions,
     SinkhornWorkspace, TransportPlan,
 };
+pub use sparse::{CsrPattern, MergeChunk, MergePlan};
 pub use svd::{jacobi_svd, Svd};

@@ -1,0 +1,384 @@
+//! Property tests pinning the merge-balanced sparse kernels to their
+//! serial references, *bit for bit*: merge chunks split only the work
+//! distribution, never a row's floating-point chain — every output
+//! value is the naive sequential left-to-right reduction.
+
+use cualign_linalg::sparse::{
+    exclusion_max, exclusion_max_apply, exclusion_max_apply_reference, exclusion_max_reference,
+    map_values, mask_apply, mask_apply_reference, masked_spmv, masked_spmv_reference, reduce_rows,
+    reduce_rows_reference, row_map_reduce, row_map_reduce_reference, row_scaled_map,
+    row_scaled_map_reference, spmm,
+    spmm_reference, spmv, spmv_reference, CsrPattern, MergePlan,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random CSR pattern: `rows` rows over `ncols` columns, up to
+/// `max_deg` strictly-ascending column indices per row.
+fn random_csr(rows: usize, ncols: usize, max_deg: usize, rng: &mut StdRng) -> (Vec<usize>, Vec<u32>) {
+    let mut offsets = vec![0usize];
+    let mut cols = Vec::new();
+    for _ in 0..rows {
+        let deg = if ncols == 0 { 0 } else { rng.gen_range(0..=max_deg) };
+        let mut row: Vec<u32> = (0..deg).map(|_| rng.gen_range(0..ncols as u32)).collect();
+        row.sort_unstable();
+        row.dedup();
+        cols.extend_from_slice(&row);
+        offsets.push(cols.len());
+    }
+    (offsets, cols)
+}
+
+fn random_vals(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merge-balanced SpMV ≡ reference bitwise across random shapes and
+    /// chunk sizes (including chunk_nnz = 1, maximal splitting).
+    #[test]
+    fn spmv_is_bitwise_reference(
+        rows in 0usize..40,
+        ncols in 1usize..30,
+        max_deg in 0usize..12,
+        chunk_nnz in 1usize..24,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (offsets, cols) = random_csr(rows, ncols, max_deg, &mut rng);
+        let pattern = CsrPattern::new(&offsets, &cols);
+        let vals = random_vals(cols.len(), &mut rng);
+        let x = random_vals(ncols, &mut rng);
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let mut fast = vec![0.0; rows];
+        let mut slow = vec![0.0; rows];
+        spmv(&pattern, &plan, &vals, &x, &mut fast);
+        spmv_reference(&pattern, &vals, &x, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// Merge-balanced SpMM ≡ reference bitwise, all dense widths.
+    #[test]
+    fn spmm_is_bitwise_reference(
+        rows in 0usize..24,
+        ncols in 1usize..16,
+        max_deg in 0usize..8,
+        k in 1usize..6,
+        chunk_nnz in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (offsets, cols) = random_csr(rows, ncols, max_deg, &mut rng);
+        let pattern = CsrPattern::new(&offsets, &cols);
+        let vals = random_vals(cols.len(), &mut rng);
+        let x = random_vals(ncols * k, &mut rng);
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let mut fast = vec![0.0; rows * k];
+        let mut slow = vec![0.0; rows * k];
+        spmm(&pattern, &plan, &vals, &x, k, &mut fast);
+        spmm_reference(&pattern, &vals, &x, k, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// Masked SpMV (two-pointer merge) ≡ reference (per-entry binary
+    /// search) bitwise: same surviving entries, same chain.
+    #[test]
+    fn masked_spmv_is_bitwise_reference(
+        rows in 0usize..32,
+        ncols in 1usize..24,
+        max_deg in 0usize..10,
+        mask_deg in 0usize..10,
+        chunk_nnz in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (offsets, cols) = random_csr(rows, ncols, max_deg, &mut rng);
+        let (moffsets, mcols) = random_csr(rows, ncols, mask_deg, &mut rng);
+        let pattern = CsrPattern::new(&offsets, &cols);
+        let mask = CsrPattern::new(&moffsets, &mcols);
+        let vals = random_vals(cols.len(), &mut rng);
+        let x = random_vals(ncols, &mut rng);
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let mut fast = vec![0.0; rows];
+        let mut slow = vec![0.0; rows];
+        masked_spmv(&pattern, &mask, &plan, &vals, &x, &mut fast);
+        masked_spmv_reference(&pattern, &mask, &vals, &x, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// Structural-mask apply ≡ reference (pure selection, no FP).
+    #[test]
+    fn mask_apply_is_bitwise_reference(
+        rows in 0usize..32,
+        ncols in 1usize..24,
+        max_deg in 0usize..10,
+        mask_deg in 0usize..10,
+        chunk_nnz in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (offsets, cols) = random_csr(rows, ncols, max_deg, &mut rng);
+        let (moffsets, mcols) = random_csr(rows, ncols, mask_deg, &mut rng);
+        let pattern = CsrPattern::new(&offsets, &cols);
+        let mask = CsrPattern::new(&moffsets, &mcols);
+        let vals = random_vals(cols.len(), &mut rng);
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let mut fast = vec![0.0; cols.len()];
+        let mut slow = vec![0.0; cols.len()];
+        mask_apply(&pattern, &mask, &plan, &vals, &mut fast);
+        mask_apply_reference(&pattern, &mask, &vals, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// Fused map + row-reduce (values and sums), straddle fixup
+    /// included, ≡ reference bitwise; and the unfused pair
+    /// (map_values + reduce_rows) reproduces the same bits.
+    #[test]
+    fn row_map_reduce_is_bitwise_reference(
+        rows in 0usize..40,
+        ncols in 1usize..24,
+        max_deg in 0usize..12,
+        chunk_nnz in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (offsets, cols) = random_csr(rows, ncols, max_deg, &mut rng);
+        let src = random_vals(cols.len(), &mut rng);
+        let w = random_vals(rows, &mut rng);
+        let map = |j: usize| (2.0 + src[j]).clamp(0.0, 2.0);
+        let init = |r: usize| 0.7 * w[r];
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let nnz = cols.len();
+        let (mut vf, mut yf) = (vec![0.0; nnz], vec![0.0; rows]);
+        let (mut vs, mut ys) = (vec![0.0; nnz], vec![0.0; rows]);
+        row_map_reduce(&offsets, &plan, map, init, &mut vf, &mut yf);
+        row_map_reduce_reference(&offsets, map, init, &mut vs, &mut ys);
+        prop_assert_eq!(bits(&yf), bits(&ys));
+        prop_assert_eq!(bits(&vf), bits(&vs));
+        // Unfused pair: same bits through the two-pass route.
+        let (mut vu, mut yu) = (vec![0.0; nnz], vec![0.0; rows]);
+        map_values(&plan, map, &mut vu);
+        reduce_rows(&offsets, &plan, &vu, init, &mut yu);
+        prop_assert_eq!(bits(&yu), bits(&ys));
+        prop_assert_eq!(bits(&vu), bits(&vs));
+    }
+
+    /// Standalone row reduction over materialized values ≡ reference
+    /// bitwise (owners read whole rows; no fixup path).
+    #[test]
+    fn reduce_rows_is_bitwise_reference(
+        rows in 0usize..40,
+        ncols in 1usize..24,
+        max_deg in 0usize..12,
+        chunk_nnz in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (offsets, cols) = random_csr(rows, ncols, max_deg, &mut rng);
+        let vals = random_vals(cols.len(), &mut rng);
+        let w = random_vals(rows, &mut rng);
+        let init = |r: usize| w[r] - 0.5;
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let mut fast = vec![0.0; rows];
+        let mut slow = vec![0.0; rows];
+        reduce_rows(&offsets, &plan, &vals, init, &mut fast);
+        reduce_rows_reference(&offsets, &vals, init, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// Row-scaled elementwise map ≡ reference bitwise (per-row scalar
+    /// broadcast down rows that may straddle chunks).
+    #[test]
+    fn row_scaled_map_is_bitwise_reference(
+        rows in 0usize..40,
+        ncols in 1usize..24,
+        max_deg in 0usize..12,
+        chunk_nnz in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (offsets, cols) = random_csr(rows, ncols, max_deg, &mut rng);
+        let f = random_vals(cols.len(), &mut rng);
+        let yzd = random_vals(rows, &mut rng);
+        let scalar = |r: usize| yzd[r] * 1.5 - 0.25;
+        let map = |v: f64, j: usize| v - f[j];
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let mut fast = vec![0.0; cols.len()];
+        let mut slow = vec![0.0; cols.len()];
+        row_scaled_map(&offsets, &plan, scalar, map, &mut fast);
+        row_scaled_map_reference(&offsets, scalar, map, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// Grouped exclusion max ≡ reference bitwise (pure selection, same
+    /// first-argmax / runner-up scan).
+    #[test]
+    fn exclusion_max_is_bitwise_reference(
+        groups in 0usize..30,
+        max_deg in 0usize..10,
+        chunk_nnz in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = vec![0usize];
+        for _ in 0..groups {
+            let deg = rng.gen_range(0..=max_deg);
+            offsets.push(offsets.last().copied().unwrap() + deg);
+        }
+        let n = *offsets.last().unwrap();
+        // ids: a permutation of 0..n (each value referenced once, as in
+        // the side-CSR incidence arrays).
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.gen_range(0..=i));
+        }
+        let values = random_vals(n, &mut rng);
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let mut fast = vec![0.0; n];
+        let mut slow = vec![0.0; n];
+        exclusion_max(&offsets, &plan, &ids, &values, &mut fast);
+        exclusion_max_reference(&offsets, &ids, &values, &mut slow);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// Fused exclusion max + epilogue ≡ its reference bitwise, and both
+    /// ≡ the unfused route (materialize with `exclusion_max`, then
+    /// apply the same epilogue elementwise) — the fusion must change
+    /// no bits, only the number of passes.
+    #[test]
+    fn exclusion_max_apply_is_bitwise_reference(
+        groups in 0usize..30,
+        max_deg in 0usize..10,
+        chunk_nnz in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = vec![0usize];
+        for _ in 0..groups {
+            let deg = rng.gen_range(0..=max_deg);
+            offsets.push(offsets.last().copied().unwrap() + deg);
+        }
+        let n = *offsets.last().unwrap();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.gen_range(0..=i));
+        }
+        let values = random_vals(n, &mut rng);
+        let d = random_vals(n, &mut rng);
+        let prev = random_vals(n, &mut rng);
+        let g = 0.93f64;
+        // The BP tail shape: o1 = d − om, o2 = γ·o1 + (1−γ)·o2.
+        let apply = |p: usize, om: f64, o1: &mut f64, o2: &mut f64| {
+            *o1 = d[p] - om;
+            *o2 = g * *o1 + (1.0 - g) * *o2;
+        };
+        let plan = MergePlan::with_chunk_nnz(&offsets, chunk_nnz);
+        let (mut f1, mut f2) = (vec![0.0; n], prev.clone());
+        let (mut s1, mut s2) = (vec![0.0; n], prev.clone());
+        exclusion_max_apply(&offsets, &plan, &ids, &values, apply, &mut f1, &mut f2);
+        exclusion_max_apply_reference(&offsets, &ids, &values, apply, &mut s1, &mut s2);
+        prop_assert_eq!(bits(&f1), bits(&s1));
+        prop_assert_eq!(bits(&f2), bits(&s2));
+        // Unfused route: materialize om, then the same epilogue.
+        let mut om = vec![0.0; n];
+        exclusion_max(&offsets, &plan, &ids, &values, &mut om);
+        let (mut u1, mut u2) = (vec![0.0; n], prev);
+        for p in 0..n {
+            apply(p, om[p], &mut u1[p], &mut u2[p]);
+        }
+        prop_assert_eq!(bits(&u1), bits(&s1));
+        prop_assert_eq!(bits(&u2), bits(&s2));
+    }
+}
+
+/// A single hot row holding almost all nonzeros — the skewed-degree
+/// shape merge balancing exists for. The hot row spans every chunk;
+/// its chain must still be the sequential one.
+#[test]
+fn skewed_single_hot_row_is_bitwise_reference() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let hot = 10_000usize;
+    let ncols = hot + 8;
+    let mut offsets = vec![0usize, 1];
+    let mut cols: Vec<u32> = vec![3];
+    cols.extend(0..hot as u32); // the hot row, strictly ascending
+    offsets.push(cols.len());
+    for c in 0..6u32 {
+        cols.push(c);
+        offsets.push(cols.len());
+    }
+    let pattern = CsrPattern::new(&offsets, &cols);
+    let vals = random_vals(cols.len(), &mut rng);
+    let x = random_vals(ncols, &mut rng);
+    let plan = MergePlan::with_chunk_nnz(&offsets, 256);
+    assert!(plan.chunks().len() > 10, "hot row must span many chunks");
+    assert!(
+        plan.straddle_rows().contains(&1),
+        "hot row must be recorded as a straddle row"
+    );
+    let rows = offsets.len() - 1;
+    let mut fast = vec![0.0; rows];
+    let mut slow = vec![0.0; rows];
+    spmv(&pattern, &plan, &vals, &x, &mut fast);
+    spmv_reference(&pattern, &vals, &x, &mut slow);
+    assert_eq!(bits(&fast), bits(&slow));
+
+    let map = |j: usize| vals[j] * 1.25;
+    let init = |r: usize| r as f64 * 0.5;
+    let (mut vf, mut yf) = (vec![0.0; cols.len()], vec![0.0; rows]);
+    let (mut vs, mut ys) = (vec![0.0; cols.len()], vec![0.0; rows]);
+    row_map_reduce(&offsets, &plan, map, init, &mut vf, &mut yf);
+    row_map_reduce_reference(&offsets, map, init, &mut vs, &mut ys);
+    assert_eq!(bits(&yf), bits(&ys));
+    assert_eq!(bits(&vf), bits(&vs));
+}
+
+/// Mask with no nonzeros anywhere: every masked sum collapses to the
+/// empty chain (`0.0`), bitwise equal to the reference.
+#[test]
+fn mask_all_zero_yields_zero_rows() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (offsets, cols) = random_csr(20, 16, 6, &mut rng);
+    let moffsets = vec![0usize; 21];
+    let mcols: Vec<u32> = Vec::new();
+    let pattern = CsrPattern::new(&offsets, &cols);
+    let mask = CsrPattern::new(&moffsets, &mcols);
+    let vals = random_vals(cols.len(), &mut rng);
+    let x = random_vals(16, &mut rng);
+    let plan = MergePlan::with_chunk_nnz(&offsets, 4);
+    let mut fast = vec![1.0; 20];
+    let mut slow = vec![2.0; 20];
+    masked_spmv(&pattern, &mask, &plan, &vals, &x, &mut fast);
+    masked_spmv_reference(&pattern, &mask, &vals, &x, &mut slow);
+    assert_eq!(bits(&fast), bits(&slow));
+    assert!(fast.iter().all(|&v| v == 0.0));
+    let mut applied = vec![1.0; cols.len()];
+    mask_apply(&pattern, &mask, &plan, &vals, &mut applied);
+    assert!(applied.iter().all(|&v| v == 0.0));
+}
+
+/// Empty matrices and all-empty-row patterns go through every kernel
+/// without touching the (empty) outputs incorrectly.
+#[test]
+fn empty_and_all_empty_rows_are_handled() {
+    for offsets in [vec![0usize], vec![0usize, 0, 0, 0]] {
+        let cols: Vec<u32> = Vec::new();
+        let pattern = CsrPattern::new(&offsets, &cols);
+        let plan = MergePlan::with_chunk_nnz(&offsets, 3);
+        let rows = offsets.len() - 1;
+        let x = vec![1.0; 4];
+        let mut fast = vec![9.0; rows];
+        let mut slow = vec![9.0; rows];
+        spmv(&pattern, &plan, &[], &x, &mut fast);
+        spmv_reference(&pattern, &[], &x, &mut slow);
+        assert_eq!(bits(&fast), bits(&slow));
+        assert!(fast.iter().all(|&v| v == 0.0), "empty rows must sum to 0");
+    }
+}

@@ -21,8 +21,26 @@
 //!   attached to the nonzeros change. Belief propagation therefore stores
 //!   its message matrices as flat value arrays parallel to `col_idx`.
 //!
-//! Construction is embarrassingly parallel over the edges of `L`
-//! (rayon `par_iter` per row), as the paper notes.
+//! Construction is a parallel two-phase masked-SpGEMM-style pass
+//! (count offsets, then fill): row `e = (u, v)` owes one nonzero to
+//! every edge `(u', v')` of `L` with `u' ∈ N_A(u)` and `v' ∈ N_B(v)` —
+//! "accumulate only where the mask (`L`'s pattern) has a nonzero".
+//! Both phases use dense epoch-tagged marker tables over B-vertices
+//! (the sparse-accumulator idiom of row-wise SpGEMM) instead of
+//! per-pair sorted merges: the count phase tallies, once per shared
+//! A-endpoint `u`, the multiset of candidate targets
+//! `{v' : (u', v') ∈ E_L, u' ∈ N_A(u)}` into a multiplicity table, so
+//! each row then counts its nonzeros with `deg_B(v)` probes; the fill
+//! phase marks `N_B(v)` and scans the candidate rows in `(u', v')`
+//! order. Because `L`'s edge ids ascend lexicographically by `(a, b)`,
+//! that scan emits each row already sorted and duplicate-free, so the
+//! fill writes its final CSR slices directly, balanced across workers
+//! by `linalg::sparse` merge plans (one over `L`'s A-side CSR for the
+//! count, one over the counted offsets for the fill). The original
+//! per-row enumerate-sort-dedup construction is kept as
+//! [`OverlapMatrix::build_reference`] — the pinned oracle
+//! (`docs/oracle_manifest.txt`) that [`OverlapMatrix::build`] must
+//! reproduce exactly (same offsets, columns, and permutation).
 //!
 //! **Place in the pipeline** (paper Fig. 2): stage 3, between
 //! sparsification and belief propagation — `S` is rebuilt whenever `L`
@@ -32,8 +50,26 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use cualign_graph::{BipartiteGraph, CsrGraph, EdgeId};
+use cualign_graph::{BipartiteGraph, CsrGraph, EdgeId, Side, VertexId};
+use cualign_linalg::sparse::MergePlan;
 use rayon::prelude::*;
+
+/// Splits `data` into consecutive mutable parts covering each plan
+/// chunk's owned-row flat span (row-aligned; spans tile `[0, nnz)`).
+fn split_owned_spans<'v, T>(
+    plan: &MergePlan,
+    offsets: &[usize],
+    mut data: &'v mut [T],
+) -> Vec<&'v mut [T]> {
+    plan.chunks()
+        .iter()
+        .map(|c| {
+            let (head, tail) = std::mem::take(&mut data).split_at_mut(c.owned_span_len(offsets));
+            data = tail;
+            head
+        })
+        .collect()
+}
 
 /// The overlap matrix `S` in CSR form with a transpose permutation.
 #[derive(Clone, Debug)]
@@ -49,9 +85,179 @@ pub struct OverlapMatrix {
 
 impl OverlapMatrix {
     /// Builds `S` from the two input graphs and the bipartite graph `L`
-    /// (Algorithm 3; parallel over rows).
+    /// (Algorithm 3) as a parallel two-phase masked SpGEMM-style pass:
+    /// phase 1 counts each row's nonzeros through a per-A-endpoint
+    /// multiplicity table, phase 2 marks `N_B(v)` and fills the final
+    /// CSR slices directly (already sorted and duplicate-free — see the
+    /// module docs), balanced by merge plans. Produces output identical
+    /// to [`OverlapMatrix::build_reference`].
     pub fn build(a: &CsrGraph, b: &CsrGraph, l: &BipartiteGraph) -> Self {
+        let t0 = std::time::Instant::now();
         let _span = cualign_telemetry::global().span("overlap.build");
+        let m = l.num_edges();
+        let edges = l.edges();
+        // Marker tables are indexed by B-side vertex ids; `L`'s targets
+        // and `B`'s adjacency draw from the same vertex universe.
+        let marker_len = b.num_vertices().max(l.nb());
+
+        // Phase 1 (count): all rows sharing an A-endpoint `u` draw
+        // their candidate columns from the same multiset
+        // {(u', v') ∈ E_L : u' ∈ N_A(u)}. Tally it once per `u` into an
+        // epoch-tagged multiplicity table over B-vertices; row
+        // e = (u, v) then counts its nonzeros with deg_B(v) probes:
+        // Σ_{v' ∈ N_B(v)} mult[v']. The probe + tally touches are the
+        // "candidate squares checked" telemetry unit. Work is split by
+        // a merge plan over `L`'s A-side CSR, whose flat positions are
+        // exactly the row ids (edge ids ascend lexicographically by
+        // `(a, b)`).
+        let a_offsets = l.offsets(Side::A);
+        let a_eids = l.eids(Side::A);
+        let plan_count = MergePlan::new(a_offsets);
+        let mut row_counts = vec![0usize; m];
+        let count_parts = split_owned_spans(&plan_count, a_offsets, &mut row_counts);
+        let count_checks: u64 = plan_count
+            .chunks()
+            .par_iter()
+            .zip(count_parts)
+            .map(|(c, part)| {
+                let mut tag = vec![0u32; marker_len];
+                let mut mult = vec![0u32; marker_len];
+                let mut checks = 0u64;
+                let base = a_offsets[c.first_owned];
+                for u in c.first_owned..c.first_owned + c.owned_rows {
+                    let rows = l.targets_a(u as VertexId);
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let epoch = u as u32 + 1;
+                    for &u2 in a.neighbors(u as VertexId) {
+                        let targets = l.targets_a(u2);
+                        for &v2 in targets {
+                            if tag[v2 as usize] == epoch {
+                                mult[v2 as usize] += 1;
+                            } else {
+                                tag[v2 as usize] = epoch;
+                                mult[v2 as usize] = 1;
+                            }
+                        }
+                        checks += targets.len() as u64;
+                    }
+                    for (p, &v) in (a_offsets[u]..).zip(rows) {
+                        debug_assert_eq!(a_eids[p] as usize, p, "side-A positions are edge ids");
+                        let nbrs = b.neighbors(v);
+                        let mut cnt = 0usize;
+                        for &v2 in nbrs {
+                            if tag[v2 as usize] == epoch {
+                                cnt += mult[v2 as usize] as usize;
+                            }
+                        }
+                        checks += nbrs.len() as u64;
+                        part[p - base] = cnt;
+                    }
+                }
+                checks
+            })
+            .sum();
+
+        let mut row_offsets = Vec::with_capacity(m + 1);
+        let mut nnz = 0usize;
+        row_offsets.push(nnz);
+        for c in &row_counts {
+            nnz += c;
+            row_offsets.push(nnz);
+        }
+
+        // Phase 2 (fill): epoch-mark `N_B(v)` per row, then scan the
+        // candidate rows in `(u', v')` order writing surviving edge ids
+        // straight into each row's final slice (the scan order IS the
+        // ascending edge-id order). Work is split by an equal-nnz merge
+        // plan; each chunk fills the rows it owns.
+        let plan = MergePlan::new(&row_offsets);
+        let mut col_idx = vec![0 as EdgeId; nnz];
+        let col_parts = split_owned_spans(&plan, &row_offsets, &mut col_idx);
+        let fill_checks: u64 = plan
+            .chunks()
+            .par_iter()
+            .zip(col_parts)
+            .map(|(c, part)| {
+                let mut mark = vec![0u32; marker_len];
+                let mut checks = 0u64;
+                let base = row_offsets[c.first_owned];
+                for r in c.first_owned..c.first_owned + c.owned_rows {
+                    let le = edges[r];
+                    let epoch = r as u32 + 1;
+                    let nbrs = b.neighbors(le.b);
+                    for &v2 in nbrs {
+                        mark[v2 as usize] = epoch;
+                    }
+                    let mut k = row_offsets[r] - base;
+                    for &u2 in a.neighbors(le.a) {
+                        let targets = l.targets_a(u2);
+                        let eids = l.row_a(u2);
+                        for (i, &v2) in targets.iter().enumerate() {
+                            if mark[v2 as usize] == epoch {
+                                part[k] = eids[i];
+                                k += 1;
+                            }
+                        }
+                        checks += targets.len() as u64;
+                    }
+                    checks += nbrs.len() as u64;
+                    debug_assert_eq!(k, row_offsets[r + 1] - base, "fill/count mismatch");
+                }
+                checks
+            })
+            .sum();
+        let squares_checked = count_checks + fill_checks;
+
+        // Transpose permutation: nonzero j at (row, col) ↦ index of (col,
+        // row). Symmetry of the pattern guarantees the mirror exists.
+        let mut transpose_perm = vec![0u32; nnz];
+        let perm_parts = split_owned_spans(&plan, &row_offsets, &mut transpose_perm);
+        {
+            let row_offsets = &row_offsets;
+            let col_idx = &col_idx;
+            plan.chunks()
+                .par_iter()
+                .zip(perm_parts)
+                .for_each(|(c, part)| {
+                    let base = row_offsets[c.first_owned];
+                    for row in c.first_owned..c.first_owned + c.owned_rows {
+                        for j in row_offsets[row]..row_offsets[row + 1] {
+                            let col = col_idx[j] as usize;
+                            let cs = row_offsets[col];
+                            let ce = row_offsets[col + 1];
+                            let pos = col_idx[cs..ce]
+                                .binary_search(&(row as EdgeId))
+                                // lint: allow(no-panic): the fill phase inserts (u',v') iff (v',u') is also inserted, so the pattern is structurally symmetric by construction
+                                .expect("overlap matrix not structurally symmetric");
+                            part[j - base] = (cs + pos) as u32;
+                        }
+                    }
+                });
+        }
+
+        let reg = cualign_telemetry::global();
+        reg.counter("overlap.builds").inc();
+        reg.counter("overlap.squares_checked").add(squares_checked);
+        reg.gauge("overlap.nnz").set(col_idx.len() as f64);
+        reg.histogram("overlap.build_seconds")
+            .record(t0.elapsed().as_secs_f64());
+        OverlapMatrix {
+            row_offsets,
+            col_idx,
+            transpose_perm,
+        }
+    }
+
+    /// The original serial-shaped construction (per-row candidate
+    /// enumeration through `edge_id` probes, then sort + dedup), kept
+    /// verbatim as the pinned oracle for [`OverlapMatrix::build`]
+    /// (`docs/oracle_manifest.txt`): both must produce identical
+    /// offsets, column indices, and transpose permutations. Records no
+    /// telemetry — it exists for equivalence tests and as the
+    /// `bench_bp` baseline.
+    pub fn build_reference(a: &CsrGraph, b: &CsrGraph, l: &BipartiteGraph) -> Self {
         let m = l.num_edges();
         // Row e = (u, v): for every neighbor u' of u and v' of v, the edge
         // (u', v') of L (if present) overlaps e.
@@ -104,9 +310,6 @@ impl OverlapMatrix {
             })
             .collect();
 
-        let reg = cualign_telemetry::global();
-        reg.counter("overlap.builds").inc();
-        reg.gauge("overlap.nnz").set(col_idx.len() as f64);
         OverlapMatrix {
             row_offsets,
             col_idx,

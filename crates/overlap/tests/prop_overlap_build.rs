@@ -1,0 +1,109 @@
+//! Pins the two-phase masked-SpGEMM `OverlapMatrix::build` to the
+//! original serial `build_reference`: exact equality of the full CSR
+//! (row offsets, column indices, transpose permutation), not just nnz.
+//! The construction is pure structure (no floating point), so equality
+//! is exact by contract.
+
+use cualign_graph::generators::erdos_renyi_gnm;
+use cualign_graph::{BipartiteGraph, CsrGraph, Permutation, VertexId};
+use cualign_overlap::OverlapMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(
+    n: usize,
+    edges: usize,
+    decoys: usize,
+    seed: u64,
+) -> (CsrGraph, CsrGraph, BipartiteGraph) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = erdos_renyi_gnm(n, edges, &mut rng);
+    let p = Permutation::random(n, &mut rng);
+    let b = p.apply_to_graph(&a);
+    let mut triples: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    for i in 0..n as VertexId {
+        triples.push((i, p.apply(i), 1.0));
+        for _ in 0..decoys {
+            triples.push((i, rng.gen_range(0..n as VertexId), 1.0));
+        }
+    }
+    let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+    (a, b, l)
+}
+
+fn assert_builds_agree(a: &CsrGraph, b: &CsrGraph, l: &BipartiteGraph) {
+    let fast = OverlapMatrix::build(a, b, l);
+    let slow = OverlapMatrix::build_reference(a, b, l);
+    assert_eq!(fast.nnz(), slow.nnz());
+    assert_eq!(fast.row_offsets(), slow.row_offsets());
+    assert_eq!(fast.col_indices(), slow.col_indices());
+    assert_eq!(fast.transpose_perm(), slow.transpose_perm());
+    fast.check_invariants().expect("fast build invariants");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random graphs, random candidate sets: the parallel count+fill
+    /// build and the serial reference agree exactly.
+    #[test]
+    fn build_matches_reference_on_random_instances(
+        n in 2usize..28,
+        edge_factor in 1usize..4,
+        decoys in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let edges = (n * edge_factor).min(n * (n - 1) / 2);
+        let (a, b, l) = random_instance(n, edges, decoys, seed);
+        assert_builds_agree(&a, &b, &l);
+    }
+}
+
+/// Hub-skewed shape: a star in A (every edge touches the hub) and a
+/// candidate list where the hub pairs with everything, giving the
+/// overlap CSR hot rows that straddle merge chunks.
+#[test]
+fn build_matches_reference_on_hub_skewed_graphs() {
+    let n = 80usize;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut pairs: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|j| (0, j)).collect();
+    for _ in 0..n {
+        let u = rng.gen_range(1..n as VertexId);
+        let v = rng.gen_range(1..n as VertexId);
+        if u != v {
+            pairs.push((u, v));
+        }
+    }
+    let a = CsrGraph::from_edges(n, &pairs);
+    let p = Permutation::random(n, &mut rng);
+    let b = p.apply_to_graph(&a);
+    let mut triples: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    for i in 0..n as VertexId {
+        triples.push((i, p.apply(i), 1.0));
+        triples.push((0, i, 1.0));
+        triples.push((i, 0, 1.0));
+    }
+    let l = BipartiteGraph::from_weighted_edges(n, n, &triples);
+    assert_builds_agree(&a, &b, &l);
+}
+
+/// Degenerate shapes: empty candidate sets and edgeless graphs.
+#[test]
+fn build_matches_reference_on_degenerate_instances() {
+    // Edgeless A: no squares exist at all.
+    let a = CsrGraph::from_edges(5, &[]);
+    let b = CsrGraph::from_edges(5, &[]);
+    let l = BipartiteGraph::from_weighted_edges(
+        5,
+        5,
+        &[(0, 0, 1.0), (1, 1, 1.0), (2, 3, 1.0)],
+    );
+    assert_builds_agree(&a, &b, &l);
+
+    // Graphs with edges but an empty candidate list.
+    let a = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    let b = CsrGraph::from_edges(4, &[(0, 2), (1, 3)]);
+    let l = BipartiteGraph::from_weighted_edges(4, 4, &[]);
+    assert_builds_agree(&a, &b, &l);
+}
